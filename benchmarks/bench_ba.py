@@ -1,0 +1,60 @@
+"""E2 -- Best-of-both-worlds Byzantine agreement (Theorem 3.6).
+
+ΠBA must behave as a t-perfectly-secure SBA in a synchronous network and as
+a t-perfectly-secure ABA in an asynchronous network, for t < n/3 and both
+unanimous and mixed inputs, with and without Byzantine parties.
+"""
+
+import pytest
+
+from repro.ba.bobw import BestOfBothWorldsBA, ba_time_bound
+from repro.sim import AsynchronousNetwork, CrashBehavior, SynchronousNetwork, WrongValueBehavior
+
+from bench_common import make_runner, summarize
+
+
+def _run_ba(n, t, inputs, network, corrupt=None, seed=0):
+    runner = make_runner(n, network=network, seed=seed, corrupt=corrupt)
+    return runner.run(
+        lambda party: BestOfBothWorldsBA(party, "ba", faults=t, value=inputs.get(party.id),
+                                         anchor=0.0),
+        max_time=100_000.0,
+    )
+
+
+SCENARIOS = {
+    "sync-unanimous": dict(network=SynchronousNetwork(), inputs={i: 1 for i in range(1, 5)},
+                           corrupt=None),
+    "sync-mixed": dict(network=SynchronousNetwork(), inputs={1: 1, 2: 0, 3: 1, 4: 0},
+                       corrupt=None),
+    "sync-crash": dict(network=SynchronousNetwork(), inputs={i: 1 for i in range(1, 5)},
+                       corrupt={4: CrashBehavior()}),
+    "async-unanimous": dict(network=AsynchronousNetwork(max_delay=8.0),
+                            inputs={i: 0 for i in range(1, 5)}, corrupt=None),
+    "async-mixed-byzantine": dict(network=AsynchronousNetwork(max_delay=8.0),
+                                  inputs={1: 1, 2: 0, 3: 1, 4: 0},
+                                  corrupt={4: WrongValueBehavior(offset=1)}),
+}
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_ba_scenarios(benchmark, scenario):
+    config = SCENARIOS[scenario]
+    n, t = 4, 1
+    result = benchmark.pedantic(
+        lambda: _run_ba(n, t, config["inputs"], config["network"], corrupt=config["corrupt"]),
+        iterations=1, rounds=1,
+    )
+    stats = summarize(result)
+    outputs = result.honest_outputs()
+    stats["consistent"] = float(len(set(outputs.values())) <= 1)
+    honest_inputs = {config["inputs"][pid] for pid in outputs}
+    if len(honest_inputs) == 1:
+        common_input = honest_inputs.pop()
+        stats["valid"] = float(all(v == common_input for v in outputs.values()))
+    else:
+        stats["valid"] = 1.0
+    stats["nominal_time_bound"] = ba_time_bound(n, t, 1.0)
+    benchmark.extra_info.update(stats)
+    assert stats["consistent"] == 1.0
+    assert stats["valid"] == 1.0

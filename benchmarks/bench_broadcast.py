@@ -1,0 +1,74 @@
+"""E3 -- Broadcast guarantees and time bound (Theorem 3.5, Lemma 2.4).
+
+Reproduces the paper's claims about ΠACast and ΠBC: liveness/validity within
+the stated time bounds in a synchronous network, O(n² ℓ) communication, and
+fallback delivery in an asynchronous network.
+"""
+
+import pytest
+
+from repro.broadcast.acast import AcastProtocol, acast_time_bound
+from repro.broadcast.bc import BroadcastProtocol, bc_time_bound
+from repro.sim import AsynchronousNetwork, SynchronousNetwork
+
+from bench_common import make_runner, summarize
+
+
+def _run_acast(n, t, network, seed=0):
+    runner = make_runner(n, network=network, seed=seed)
+    return runner.run(
+        lambda party: AcastProtocol(
+            party, "acast", sender=1, faults=t,
+            message="m" * 16 if party.id == 1 else None,
+        ),
+        max_time=5_000.0,
+    )
+
+
+def _run_bc(n, t, network, seed=0):
+    runner = make_runner(n, network=network, seed=seed)
+    return runner.run(
+        lambda party: BroadcastProtocol(
+            party, "bc", sender=1, faults=t,
+            message="m" * 16 if party.id == 1 else None, anchor=0.0,
+        ),
+        max_time=5_000.0,
+    )
+
+
+@pytest.mark.parametrize("n,t", [(4, 1), (7, 2)])
+def test_acast_synchronous(benchmark, n, t):
+    result = benchmark.pedantic(
+        lambda: _run_acast(n, t, SynchronousNetwork()), iterations=1, rounds=1
+    )
+    stats = summarize(result)
+    stats["paper_time_bound"] = acast_time_bound(1.0)
+    stats["within_bound"] = float(stats["max_output_time"] <= acast_time_bound(1.0) + 1e-6)
+    benchmark.extra_info.update(stats)
+    assert stats["honest_outputs"] == n
+    assert stats["within_bound"] == 1.0
+
+
+@pytest.mark.parametrize("n,t", [(4, 1), (7, 2)])
+def test_bc_synchronous(benchmark, n, t):
+    result = benchmark.pedantic(
+        lambda: _run_bc(n, t, SynchronousNetwork()), iterations=1, rounds=1
+    )
+    stats = summarize(result)
+    stats["our_time_bound"] = bc_time_bound(n, t, 1.0)
+    stats["paper_time_bound"] = (12 * n - 3) * 1.0
+    stats["within_bound"] = float(stats["max_output_time"] <= bc_time_bound(n, t, 1.0) + 1e-6)
+    benchmark.extra_info.update(stats)
+    assert stats["honest_outputs"] == n
+    assert stats["within_bound"] == 1.0
+
+
+@pytest.mark.parametrize("n,t", [(4, 1), (7, 2)])
+def test_bc_asynchronous(benchmark, n, t):
+    result = benchmark.pedantic(
+        lambda: _run_bc(n, t, AsynchronousNetwork(max_delay=5.0), seed=2),
+        iterations=1, rounds=1,
+    )
+    stats = summarize(result)
+    benchmark.extra_info.update(stats)
+    assert stats["honest_outputs"] == n

@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark suite."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.field import Polynomial, default_field
+from repro.sim import ProtocolRunner, SynchronousNetwork
+from repro.sim.network import NetworkModel
+
+FIELD = default_field()
+
+
+def fresh_polynomials(count: int, degree: int, seed: int):
+    rng = random.Random(seed)
+    return [Polynomial.random(FIELD, degree, rng=rng) for _ in range(count)]
+
+
+def make_runner(n: int, network: Optional[NetworkModel] = None, seed: int = 0, corrupt=None):
+    return ProtocolRunner(n, network=network or SynchronousNetwork(), seed=seed,
+                          corrupt=corrupt or {})
+
+
+def summarize(result) -> Dict[str, float]:
+    """Extract the standard measurement row from a protocol run."""
+    times = result.honest_output_times()
+    return {
+        "honest_outputs": float(len(result.honest_outputs())),
+        "max_output_time": max(times.values()) if times else float("nan"),
+        "messages_sent": float(result.metrics.messages_sent),
+        "honest_bits": float(result.metrics.honest_bits),
+        "total_bits": float(result.metrics.total_bits),
+    }

@@ -1,0 +1,69 @@
+"""E5 -- Communication-complexity scaling (Lemma 4.7, Thm 4.8/4.16, Lemma 5.1).
+
+Measures the bits sent by honest parties for ΠBC, ΠWPS and ΠVSS as n grows
+and fits the growth exponent, to be compared with the paper's asymptotics
+(O(n²ℓ), O(n⁴ log|F|), O(n⁵ log|F|) respectively).  Absolute constants are
+not expected to match the paper (our ΠBGP differs); the *shape* is.
+"""
+
+import pytest
+
+from repro.analysis import fit_power_law
+from repro.broadcast.bc import BroadcastProtocol
+from repro.sharing.vss import VerifiableSecretSharing
+from repro.sharing.wps import WeakPolynomialSharing
+from repro.sim import SynchronousNetwork
+
+from bench_common import fresh_polynomials, make_runner
+
+#: (n, ts) pairs used for the scaling sweep; ta = 0 keeps runs comparable.
+SWEEP = [(4, 1), (5, 1), (7, 2)]
+
+
+def _bits_for_bc(n, t):
+    runner = make_runner(n, network=SynchronousNetwork(), seed=1)
+    runner.run(
+        lambda party: BroadcastProtocol(party, "bc", sender=1, faults=t,
+                                        message="m" * 8 if party.id == 1 else None, anchor=0.0),
+        max_time=5_000.0,
+    )
+    return runner.simulator.metrics.honest_bits
+
+
+def _bits_for_sharing(cls, n, t):
+    polynomials = fresh_polynomials(1, t, seed=3)
+    runner = make_runner(n, network=SynchronousNetwork(), seed=1)
+    runner.run(
+        lambda party: cls(party, "share", dealer=1, ts=t, ta=0, num_polynomials=1,
+                          polynomials=polynomials if party.id == 1 else None, anchor=0.0),
+        max_time=300_000.0,
+    )
+    return runner.simulator.metrics.honest_bits
+
+
+@pytest.mark.parametrize(
+    "label,measure,paper_exponent",
+    [
+        ("bc", _bits_for_bc, 2.0),
+        ("wps", lambda n, t: _bits_for_sharing(WeakPolynomialSharing, n, t), 4.0),
+        ("vss", lambda n, t: _bits_for_sharing(VerifiableSecretSharing, n, t), 5.0),
+    ],
+    ids=["bc-n2", "wps-n4", "vss-n5"],
+)
+def test_communication_scaling(benchmark, label, measure, paper_exponent):
+    def sweep():
+        return {n: measure(n, t) for n, t in SWEEP}
+
+    bits_by_n = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    ns = sorted(bits_by_n)
+    exponent, constant = fit_power_law(ns, [bits_by_n[n] for n in ns])
+    benchmark.extra_info.update(
+        {
+            "bits_by_n": {str(k): v for k, v in bits_by_n.items()},
+            "fitted_exponent": exponent,
+            "paper_exponent": paper_exponent,
+        }
+    )
+    # The measured exponent should be in the right ballpark: clearly
+    # super-linear, and not wildly above the paper's asymptotic exponent.
+    assert 1.5 <= exponent <= paper_exponent + 1.5

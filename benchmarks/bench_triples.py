@@ -1,0 +1,93 @@
+"""E7 -- Preprocessing / triple generation (Theorem 6.5, Lemma 6.3).
+
+ΠTripSh and ΠPreProcessing must output t_s-shared multiplication triples in
+both network types; the benchmark records bits, simulated time and verifies
+every generated triple.
+"""
+
+import pytest
+
+from repro.field.polynomial import interpolate_at
+from repro.sim import AsynchronousNetwork, SynchronousNetwork, WrongValueBehavior
+from repro.triples.preprocessing import Preprocessing, preprocessing_time_bound
+from repro.triples.sharing import TripleSharing
+
+from bench_common import FIELD, make_runner, summarize
+
+
+def _reconstruct(shares_by_party, degree):
+    points = [(FIELD.alpha(pid), value) for pid, value in shares_by_party.items()]
+    return interpolate_at(FIELD, points[: degree + 1], 0)
+
+
+def _triples_valid(result, ts):
+    outputs = result.honest_outputs()
+    if not outputs:
+        return False
+    count = len(next(iter(outputs.values())))
+    for index in range(count):
+        a = _reconstruct({pid: out[index][0] for pid, out in outputs.items()}, ts)
+        b = _reconstruct({pid: out[index][1] for pid, out in outputs.items()}, ts)
+        c = _reconstruct({pid: out[index][2] for pid, out in outputs.items()}, ts)
+        if a * b != c:
+            return False
+    return True
+
+
+def test_triple_sharing_sync(benchmark):
+    n, ts, ta = 4, 1, 0
+
+    def run():
+        runner = make_runner(n, network=SynchronousNetwork(), seed=1)
+        return runner.run(
+            lambda party: TripleSharing(party, "tripsh", dealer=1, ts=ts, ta=ta,
+                                        num_triples=1, anchor=0.0),
+            max_time=500_000.0,
+        )
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    stats = summarize(result)
+    stats["triples_valid"] = float(_triples_valid(result, ts))
+    benchmark.extra_info.update(stats)
+    assert stats["triples_valid"] == 1.0
+
+
+@pytest.mark.parametrize("network_kind", ["sync", "async"])
+def test_preprocessing(benchmark, network_kind):
+    n, ts, ta = 4, 1, 0
+    network = SynchronousNetwork() if network_kind == "sync" else AsynchronousNetwork(max_delay=3.0)
+
+    def run():
+        runner = make_runner(n, network=network, seed=2)
+        return runner.run(
+            lambda party: Preprocessing(party, "preproc", ts=ts, ta=ta, num_triples=1,
+                                        anchor=0.0),
+            max_time=800_000.0,
+        )
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    stats = summarize(result)
+    stats["triples_valid"] = float(_triples_valid(result, ts))
+    stats["nominal_time_bound"] = preprocessing_time_bound(n, ts, 1.0)
+    benchmark.extra_info.update(stats)
+    assert stats["honest_outputs"] == n
+    assert stats["triples_valid"] == 1.0
+
+
+def test_preprocessing_with_byzantine_dealer(benchmark):
+    n, ts, ta = 4, 1, 0
+
+    def run():
+        runner = make_runner(n, network=SynchronousNetwork(), seed=3,
+                             corrupt={3: WrongValueBehavior(offset=2)})
+        return runner.run(
+            lambda party: Preprocessing(party, "preproc", ts=ts, ta=ta, num_triples=1,
+                                        anchor=0.0),
+            max_time=800_000.0,
+        )
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    stats = summarize(result)
+    stats["triples_valid"] = float(_triples_valid(result, ts))
+    benchmark.extra_info.update(stats)
+    assert stats["triples_valid"] == 1.0

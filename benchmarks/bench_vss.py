@@ -1,0 +1,79 @@
+"""E4 -- VSS correctness, commitment and timing (Theorem 4.16 / Theorem 4.8).
+
+Honest-dealer runs in both network types must give every honest party its
+correct share (within T_VSS in the synchronous case); corrupt-dealer runs
+must either give no output or consistent shares of a committed polynomial.
+"""
+
+import pytest
+
+from repro.sharing.vss import VerifiableSecretSharing, vss_time_bound
+from repro.sharing.wps import WeakPolynomialSharing, wps_time_bound
+from repro.sim import (
+    AsynchronousNetwork,
+    EquivocatingBehavior,
+    SynchronousNetwork,
+)
+
+from bench_common import FIELD, fresh_polynomials, make_runner, summarize
+
+
+def _run_sharing(cls, n, ts, ta, dealer, polynomials, network, corrupt=None, seed=0):
+    runner = make_runner(n, network=network, seed=seed, corrupt=corrupt)
+    return runner.run(
+        lambda party: cls(
+            party, "share", dealer=dealer, ts=ts, ta=ta,
+            num_polynomials=len(polynomials),
+            polynomials=polynomials if party.id == dealer else None,
+            anchor=0.0,
+        ),
+        max_time=300_000.0,
+    )
+
+
+def _shares_correct(result, polynomials):
+    for pid, shares in result.honest_outputs().items():
+        for poly, share in zip(polynomials, shares):
+            if share != poly.evaluate(FIELD.alpha(pid)):
+                return False
+    return True
+
+
+@pytest.mark.parametrize("protocol", ["wps", "vss"])
+@pytest.mark.parametrize("network_kind", ["sync", "async"])
+def test_sharing_honest_dealer(benchmark, protocol, network_kind):
+    n, ts, ta = (4, 1, 0) if network_kind == "sync" else (5, 1, 1)
+    cls = WeakPolynomialSharing if protocol == "wps" else VerifiableSecretSharing
+    network = SynchronousNetwork() if network_kind == "sync" else AsynchronousNetwork(max_delay=5.0)
+    polynomials = fresh_polynomials(1, ts, seed=11)
+    result = benchmark.pedantic(
+        lambda: _run_sharing(cls, n, ts, ta, 1, polynomials, network),
+        iterations=1, rounds=1,
+    )
+    stats = summarize(result)
+    stats["shares_correct"] = float(_shares_correct(result, polynomials))
+    bound_fn = wps_time_bound if protocol == "wps" else vss_time_bound
+    stats["nominal_time_bound"] = bound_fn(n, ts, 1.0)
+    if network_kind == "sync":
+        stats["within_bound"] = float(stats["max_output_time"] <= stats["nominal_time_bound"])
+    benchmark.extra_info.update(stats)
+    assert stats["honest_outputs"] == n
+    assert stats["shares_correct"] == 1.0
+
+
+def test_vss_corrupt_dealer_commitment(benchmark):
+    n, ts, ta = 4, 1, 0
+    polynomials = fresh_polynomials(1, ts, seed=13)
+    corrupt = {2: EquivocatingBehavior(group_b=[4], tag_predicate=lambda tag: True)}
+    result = benchmark.pedantic(
+        lambda: _run_sharing(VerifiableSecretSharing, n, ts, ta, 2, polynomials,
+                             SynchronousNetwork(), corrupt=corrupt, seed=5),
+        iterations=1, rounds=1,
+    )
+    stats = summarize(result)
+    outputs = result.honest_outputs()
+    # Strong commitment: either nobody outputs, or everyone outputs shares of
+    # one degree-ts polynomial.
+    stats["all_or_nothing"] = float(len(outputs) in (0, n - 1))
+    benchmark.extra_info.update(stats)
+    assert stats["all_or_nothing"] == 1.0

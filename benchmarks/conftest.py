@@ -1,0 +1,19 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one experiment from DESIGN.md's experiment index
+(E1-E8) and, besides timing via pytest-benchmark, attaches the measured
+protocol-level quantities (bits communicated, simulated output times,
+correctness flags) to ``benchmark.extra_info`` so EXPERIMENTS.md can be
+filled in from the benchmark output.
+"""
+
+import os
+import sys
+
+import pytest
+
+_ROOT = os.path.dirname(os.path.dirname(__file__))
+_SRC = os.path.join(_ROOT, "src")
+for path in (_SRC, os.path.dirname(__file__)):
+    if path not in sys.path:
+        sys.path.insert(0, path)

@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make the in-tree package importable without installation.
+
+``pip install -e .`` is the normal route, but on fully-offline environments
+without the ``wheel`` package the editable install can fail; adding ``src``
+to ``sys.path`` here keeps the test and benchmark suites runnable either way.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

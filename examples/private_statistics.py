@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Scenario: privacy-preserving joint statistics among hospitals.
+
+Five hospitals want the (scaled) sum and a weighted interaction score of
+their private patient counts without revealing individual counts.  One
+hospital is Byzantine and one is slow; the computation runs over an
+asynchronous network with t_s = 1 / t_a = 1 (n = 5, 3*ts + ta < n).
+
+Run with:  python examples/private_statistics.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import default_field, run_mpc
+from repro.circuits import mean_circuit, millionaires_product_circuit
+from repro.sim import AdversarialAsynchronousNetwork, WrongValueBehavior
+
+
+def main() -> None:
+    field = default_field()
+    n, ts, ta = 5, 1, 1
+    counts = {1: 120, 2: 340, 3: 95, 4: 210, 5: 180}
+
+    print("=== Private joint statistics across 5 hospitals ===")
+    print(f"private patient counts: {counts}")
+    print(f"adversary: hospital 4 is Byzantine (perturbs every value it sends);"
+          f" hospital 2 is slow; network is asynchronous\n")
+
+    network = AdversarialAsynchronousNetwork(slow_parties=frozenset({2}), slow_delay=10.0,
+                                             fast_delay=0.4)
+    corrupt = {4: WrongValueBehavior(offset=17)}
+
+    print("[1/2] total patient count (linear circuit, no multiplications)")
+    circuit = mean_circuit(field, n)
+    result = run_mpc(circuit, counts, n=n, ts=ts, ta=ta, seed=3, network=network,
+                     corrupt=corrupt)
+    included = result.common_subset
+    honest_total = sum(counts[pid] for pid in included if pid != 4)
+    print(f"  agreed output         : {int(result.outputs[0])}")
+    print(f"  contributing hospitals: {included}")
+    print(f"  (honest contributions sum to {honest_total}; hospital 4's contribution, "
+          f"if included, is whatever it committed to)")
+
+    print("\n[2/2] pairwise interaction score (one multiplicative layer)")
+    circuit = millionaires_product_circuit(field, n)
+    result = run_mpc(circuit, counts, n=n, ts=ts, ta=ta, seed=4, network=network,
+                     corrupt=corrupt)
+    print(f"  agreed output         : {int(result.outputs[0])}")
+    print(f"  all honest hospitals agree: {result.agreed}")
+    print(f"  messages simulated    : {result.metrics.messages_sent:,}")
+    print("\nDone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: securely compute the product of four parties' private inputs.
+
+Runs the full best-of-both-worlds MPC protocol (input agreement,
+preprocessing, Beaver evaluation, output reconstruction, termination) over a
+simulated synchronous network with n = 4 parties tolerating t_s = 1
+corruption, and then repeats the run over an asynchronous network to show
+that the very same protocol still terminates with a correct, agreed output.
+
+Run with:  python examples/quickstart.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import AsynchronousNetwork, default_field, run_mpc
+from repro.circuits import multiplication_circuit
+
+
+def main() -> None:
+    field = default_field()
+    n, ts, ta = 4, 1, 0
+    circuit = multiplication_circuit(field, n_parties=n)
+    inputs = {1: 3, 2: 5, 3: 7, 4: 11}
+
+    print("=== Best-of-both-worlds MPC quickstart ===")
+    print(f"parties n={n}, thresholds ts={ts} (sync) / ta={ta} (async)")
+    print(f"circuit: product of {n} private inputs "
+          f"(c_M={circuit.multiplication_count}, D_M={circuit.multiplicative_depth})")
+    print(f"inputs: {inputs}")
+
+    print("\n[1/2] synchronous network ...")
+    result = run_mpc(circuit, inputs, n=n, ts=ts, ta=ta, seed=1)
+    print(f"  output                : {int(result.outputs[0])} (expected 1155)")
+    print(f"  common subset CS      : {result.common_subset} (all honest parties included)")
+    print(f"  simulated completion  : {max(result.output_times.values()):.1f} x Delta")
+    print(f"  honest bits exchanged : {result.metrics.honest_bits:,}")
+
+    print("\n[2/2] asynchronous network (same protocol, no reconfiguration) ...")
+    result = run_mpc(circuit, inputs, n=n, ts=ts, ta=ta, seed=2,
+                     network=AsynchronousNetwork(max_delay=3.0))
+    included = result.common_subset
+    expected = 1
+    for pid in included:
+        expected *= inputs[pid]
+    print(f"  output                : {int(result.outputs[0])}")
+    print(f"  common subset CS      : {included} (product over CS = {expected})")
+    print(f"  all honest parties agree: {result.agreed}")
+    print("\nDone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by pyproject.toml; this file exists so that
+``pip install -e .`` also works on minimal/offline environments where the
+``wheel`` package (needed for PEP 660 editable wheels) is unavailable and pip
+falls back to the legacy editable install path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,5 @@
+"""ΠACS: best-of-both-worlds agreement on a common subset."""
+
+from repro.acs.acs import AgreementOnCommonSubset, acs_time_bound
+
+__all__ = ["AgreementOnCommonSubset", "acs_time_bound"]

@@ -1,0 +1,161 @@
+"""ΠACS: agreement on a common subset of dealers (Fig 5 / Lemma 5.1).
+
+Every party acts as a ΠVSS dealer for its own L degree-t_s polynomials; a
+bank of n ΠBA instances then decides which dealers' sharings completed, and
+the parties output a common subset CS of at least n - t_s dealers such that
+every honest party (eventually) holds its shares of every CS-member's
+polynomials.  In a synchronous network all honest dealers end up in CS --
+the property that later guarantees no honest party's circuit input is
+dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.ba.aba import aba_nominal_time_bound
+from repro.ba.bobw import BestOfBothWorldsBA
+from repro.broadcast.bc import bc_time_bound
+from repro.field.polynomial import Polynomial
+from repro.sharing.vss import VerifiableSecretSharing, vss_time_bound
+from repro.sim.party import Party, ProtocolInstance
+from repro.timing import epsilon
+
+
+def acs_time_bound(n: int, ts: int, delta: float) -> float:
+    """T_ACS = T_VSS + 2·T_BA (nominal, for composition anchors)."""
+    t_ba = bc_time_bound(n, ts, delta) + aba_nominal_time_bound(delta)
+    return vss_time_bound(n, ts, delta) + 2.0 * t_ba + 8 * epsilon(delta)
+
+
+class AgreementOnCommonSubset(ProtocolInstance):
+    """One ΠACS instance.
+
+    ``polynomials`` is this party's own dealer input (L degree-t_s
+    polynomials).  The output is a tuple ``(subset, shares)`` where
+    ``subset`` is the sorted list of dealers in CS and ``shares`` maps each
+    dealer in CS to this party's list of L shares of that dealer's
+    polynomials.  With ``truncate_to`` set, CS is cut down to the first that
+    many positively-decided dealers (used by the preprocessing protocol,
+    which needs exactly n - t_s triple providers).
+    """
+
+    def __init__(
+        self,
+        party: Party,
+        tag: str,
+        ts: int,
+        ta: int,
+        num_polynomials: int = 1,
+        polynomials: Optional[List[Polynomial]] = None,
+        anchor: Optional[float] = None,
+        delta: Optional[float] = None,
+        truncate_to: Optional[int] = None,
+    ):
+        super().__init__(party, tag)
+        self.ts = ts
+        self.ta = ta
+        self.num_polynomials = num_polynomials
+        self.polynomials = polynomials
+        self.anchor = anchor
+        self.delta = delta if delta is not None else party.simulator.delta
+        self.truncate_to = truncate_to
+
+        self.vss: Dict[int, VerifiableSecretSharing] = {}
+        self._ba: Dict[int, BestOfBothWorldsBA] = {}
+        self._ba_inputs_given: Set[int] = set()
+        self._ba_outputs: Dict[int, int] = {}
+        self._vss_done: Set[int] = set()
+        self._after_wait = False
+        self.common_subset: Optional[List[int]] = None
+
+    # -- timing --------------------------------------------------------------
+    @property
+    def t_vss(self) -> float:
+        return vss_time_bound(self.n, self.ts, self.delta)
+
+    # -- input ----------------------------------------------------------------
+    def provide_input(self, polynomials: List[Polynomial]) -> None:
+        self.polynomials = polynomials
+        if self.vss:
+            self.vss[self.me].provide_input(polynomials)
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> None:
+        if self.anchor is None:
+            self.anchor = self.now
+        eps = epsilon(self.delta)
+        for j in self.party.all_party_ids():
+            vss = self.spawn(
+                VerifiableSecretSharing,
+                f"vss[{j}]",
+                dealer=j,
+                ts=self.ts,
+                ta=self.ta,
+                num_polynomials=self.num_polynomials,
+                polynomials=self.polynomials if j == self.me else None,
+                anchor=self.anchor,
+                delta=self.delta,
+            )
+            self.vss[j] = vss
+            vss.on_output(lambda _shares, j=j: self._vss_completed(j))
+        for j in self.party.all_party_ids():
+            ba = self.spawn(
+                BestOfBothWorldsBA,
+                f"ba[{j}]",
+                faults=self.ts,
+                anchor=self.anchor + self.t_vss + eps,
+                delta=self.delta,
+            )
+            self._ba[j] = ba
+            ba.on_output(lambda value, j=j: self._ba_completed(j, value))
+        for vss in self.vss.values():
+            vss.start()
+        for ba in self._ba.values():
+            ba.start()
+        self.schedule_at(self.anchor + self.t_vss + eps, self._after_vss_wait)
+
+    # -- phase II: vote on each dealer ------------------------------------------------
+    def _vss_completed(self, dealer: int) -> None:
+        self._vss_done.add(dealer)
+        if self._after_wait:
+            self._vote(dealer, 1)
+        self._maybe_finish()
+
+    def _after_vss_wait(self) -> None:
+        self._after_wait = True
+        for dealer in list(self._vss_done):
+            self._vote(dealer, 1)
+
+    def _vote(self, dealer: int, value: int) -> None:
+        if dealer in self._ba_inputs_given:
+            return
+        self._ba_inputs_given.add(dealer)
+        self._ba[dealer].provide_input(value)
+
+    def _ba_completed(self, dealer: int, value: int) -> None:
+        self._ba_outputs[dealer] = value
+        positives = sum(1 for v in self._ba_outputs.values() if v == 1)
+        if positives >= self.n - self.ts:
+            # Vote 0 in every instance we have not yet provided an input to.
+            for j in self.party.all_party_ids():
+                if j not in self._ba_inputs_given:
+                    self._vote(j, 0)
+        self._maybe_finish()
+
+    # -- output -------------------------------------------------------------------------
+    def _maybe_finish(self) -> None:
+        if self.has_output:
+            return
+        if len(self._ba_outputs) < self.n:
+            return
+        if self.common_subset is None:
+            accepted = sorted(j for j, v in self._ba_outputs.items() if v == 1)
+            if self.truncate_to is not None:
+                accepted = accepted[: self.truncate_to]
+            self.common_subset = accepted
+        # Wait until we hold the shares of every dealer in CS.
+        if not all(j in self._vss_done for j in self.common_subset):
+            return
+        shares = {j: self.vss[j].output for j in self.common_subset}
+        self.set_output((list(self.common_subset), shares))

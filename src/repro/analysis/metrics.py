@@ -1,0 +1,36 @@
+"""Measurement helpers for the communication-scaling experiments."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit of y = c * x^k in log-log space; returns (k, c).
+
+    Used to compare the measured growth of communication with the paper's
+    asymptotic exponents (e.g. ΠVSS should grow roughly like n^5 for fixed L).
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) samples")
+    log_x = [math.log(x) for x in xs]
+    log_y = [math.log(y) for y in ys]
+    n = len(xs)
+    mean_x = sum(log_x) / n
+    mean_y = sum(log_y) / n
+    covariance = sum((lx - mean_x) * (ly - mean_y) for lx, ly in zip(log_x, log_y))
+    variance = sum((lx - mean_x) ** 2 for lx in log_x)
+    slope = covariance / variance if variance else 0.0
+    intercept = mean_y - slope * mean_x
+    return slope, math.exp(intercept)
+
+
+def communication_summary(metrics) -> Dict[str, float]:
+    """Flatten a :class:`SimulationMetrics` object into a plain dict."""
+    return {
+        "messages_sent": float(metrics.messages_sent),
+        "messages_delivered": float(metrics.messages_delivered),
+        "honest_bits": float(metrics.honest_bits),
+        "total_bits": float(metrics.total_bits),
+    }

@@ -1,0 +1,31 @@
+"""Byzantine agreement: synchronous (phase-king), asynchronous (randomized),
+and the paper's best-of-both-worlds combination ΠBA.
+
+``BestOfBothWorldsBA`` is exposed lazily to avoid an import cycle with
+:mod:`repro.broadcast` (ΠBC uses the phase-king SBA, and ΠBA uses ΠBC).
+"""
+
+from repro.ba.sba import PhaseKingSBA, sba_time_bound
+from repro.ba.common_coin import CommonCoin
+from repro.ba.aba import BrachaABA, aba_unanimous_time_bound, aba_nominal_time_bound
+
+__all__ = [
+    "PhaseKingSBA",
+    "sba_time_bound",
+    "CommonCoin",
+    "BrachaABA",
+    "aba_unanimous_time_bound",
+    "aba_nominal_time_bound",
+    "BestOfBothWorldsBA",
+    "ba_time_bound",
+]
+
+_LAZY = {"BestOfBothWorldsBA", "ba_time_bound"}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        from repro.ba import bobw
+
+        return getattr(bobw, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,89 @@
+"""ΠBA: the best-of-both-worlds Byzantine agreement protocol (Fig 2 / Thm 3.6).
+
+Every party broadcasts its input bit through ΠBC; at time T_BC the regular-
+mode outputs determine the input for a single ΠABA instance (the majority
+bit of at least n - t delivered values, or the party's own input), and the
+ΠABA output is the protocol output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.ba.aba import BrachaABA, aba_nominal_time_bound
+from repro.broadcast.bc import BroadcastProtocol, bc_time_bound
+from repro.sim.party import Party, ProtocolInstance
+from repro.timing import epsilon
+
+
+def ba_time_bound(n: int, t: int, delta: float) -> float:
+    """Nominal T_BA = T_BC + nominal T_ABA (used for composition anchors)."""
+    return bc_time_bound(n, t, delta) + aba_nominal_time_bound(delta) + epsilon(delta)
+
+
+class BestOfBothWorldsBA(ProtocolInstance):
+    """One ΠBA instance over input bits.
+
+    ``anchor`` is the commonly-known start time (all parties must agree on
+    it); the input bit may be provided at construction or later via
+    :meth:`provide_input` (but before the T_BC time-out to be counted).
+    """
+
+    def __init__(
+        self,
+        party: Party,
+        tag: str,
+        faults: int,
+        value: Optional[int] = None,
+        anchor: Optional[float] = None,
+        delta: Optional[float] = None,
+    ):
+        super().__init__(party, tag)
+        self.faults = faults
+        self.delta = delta if delta is not None else party.simulator.delta
+        self.anchor = anchor
+        self.value = None if value is None else int(value)
+        self._bc: Dict[int, BroadcastProtocol] = {}
+        self._aba: Optional[BrachaABA] = None
+
+    # -- input -----------------------------------------------------------------
+    def provide_input(self, value: int) -> None:
+        self.value = int(value)
+        if self._bc and self.me in self._bc:
+            self._bc[self.me].provide_input(self.value)
+
+    # -- protocol -----------------------------------------------------------------
+    def start(self) -> None:
+        if self.anchor is None:
+            self.anchor = self.now
+        for j in self.party.all_party_ids():
+            message = self.value if (j == self.me and self.value is not None) else None
+            self._bc[j] = self.spawn(
+                BroadcastProtocol,
+                f"bc[{j}]",
+                sender=j,
+                faults=self.faults,
+                message=message,
+                anchor=self.anchor,
+                delta=self.delta,
+            )
+        for bc in self._bc.values():
+            bc.start()
+        t_bc = bc_time_bound(self.n, self.faults, self.delta)
+        self.schedule_at(self.anchor + t_bc + epsilon(self.delta), self._start_aba)
+
+    def _start_aba(self) -> None:
+        delivered = {
+            j: bc.output_via_regular_mode()
+            for j, bc in self._bc.items()
+            if bc.output_via_regular_mode() is not None
+        }
+        if len(delivered) >= self.n - self.faults:
+            ones = sum(1 for value in delivered.values() if value == 1)
+            zeros = len(delivered) - ones
+            my_input = 1 if ones >= zeros else 0
+        else:
+            my_input = self.value if self.value is not None else 0
+        self._aba = self.spawn(BrachaABA, "aba", faults=self.faults, value=my_input)
+        self._aba.on_output(self.set_output)
+        self._aba.start()

@@ -1,0 +1,17 @@
+"""Baseline protocols the paper compares against conceptually:
+
+* a purely synchronous MPC protocol (t < n/3) that relies on the Δ bound and
+  breaks when messages are delayed beyond it;
+* a purely asynchronous MPC protocol (t < n/4) that never misses outputs but
+  may ignore up to t honest parties' inputs and tolerates fewer corruptions.
+"""
+
+from repro.baselines.smpc import SynchronousMPC, run_synchronous_baseline
+from repro.baselines.ampc import AsynchronousMPC, run_asynchronous_baseline
+
+__all__ = [
+    "SynchronousMPC",
+    "run_synchronous_baseline",
+    "AsynchronousMPC",
+    "run_asynchronous_baseline",
+]

@@ -1,0 +1,246 @@
+"""A purely asynchronous MPC baseline (t < n/4, Beaver style).
+
+The protocol never relies on the synchrony bound: every step waits for
+messages and reconstructs with Online Error Correction once enough points
+have arrived.  The price, as the paper's introduction explains, is twofold:
+
+* the corruption threshold drops to t_a < n/4 (sharings have degree t_a and
+  OEC needs n >= 4·t_a + 1 to terminate);
+* the inputs of up to t_a (potentially honest) parties are ignored -- the
+  protocol cannot afford to wait for everyone, so it fixes a core set of
+  n - t_a input providers and the remaining inputs default to 0.
+
+Multiplication triples come from the idealized offline dealer (see
+``repro.baselines.dealer``); experiment E1/E8 compare this online behaviour
+against the best-of-both-worlds protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.circuits.circuit import Circuit, GateType
+from repro.codes.oec import OnlineErrorCorrector
+from repro.field.gf import FieldElement
+from repro.field.polynomial import Polynomial
+from repro.sim.adversary import Behavior
+from repro.sim.network import AsynchronousNetwork, NetworkModel
+from repro.sim.party import Party, ProtocolInstance
+from repro.sim.runner import ProtocolRunner, RunResult
+from repro.baselines.dealer import TrustedTripleDealer
+
+
+class AsynchronousMPC(ProtocolInstance):
+    """Event-driven asynchronous MPC for one circuit evaluation.
+
+    ``core_set`` is the publicly agreed set of input providers (of size
+    n - t_a); inputs of parties outside it are fixed to 0.  All sharings
+    have degree t_a and all reconstructions use OEC(t_a, t_a, P).
+    """
+
+    def __init__(
+        self,
+        party: Party,
+        tag: str,
+        circuit: Circuit,
+        faults: int,
+        core_set: Optional[List[int]] = None,
+        my_inputs: Optional[List] = None,
+        triples: Optional[List[Tuple]] = None,
+    ):
+        super().__init__(party, tag)
+        self.circuit = circuit
+        self.faults = faults
+        self.core_set = set(core_set) if core_set is not None else set(
+            range(1, self.n - faults + 1)
+        )
+        self.my_inputs = list(my_inputs) if my_inputs is not None else []
+        self.triples = list(triples) if triples is not None else []
+
+        self._wire_shares: Dict[int, FieldElement] = {}
+        self._input_oec: Dict[int, FieldElement] = {}
+        self._expected_inputs: List[int] = []
+        self._opening_oec: Dict[Tuple[int, int], OnlineErrorCorrector] = {}
+        self._output_oec: List[OnlineErrorCorrector] = []
+        self._used_triples = 0
+        self._current_layer = -1
+        self._layers: List[List[int]] = []
+
+    # -- lifecycle -----------------------------------------------------------------------
+    def start(self) -> None:
+        self._layers = self.circuit.multiplication_layers()
+        self._expected_inputs = [
+            gate.index
+            for gate in self.circuit.input_gates
+            if gate.owner in self.core_set
+        ]
+        self._share_inputs()
+        self._maybe_start_evaluation()
+
+    def _share_inputs(self) -> None:
+        cursor = 0
+        for gate in self.circuit.input_gates:
+            if gate.owner != self.me:
+                continue
+            value = self.my_inputs[cursor] if cursor < len(self.my_inputs) else 0
+            cursor += 1
+            if self.me not in self.core_set:
+                continue
+            polynomial = Polynomial.random(self.field, self.faults, constant_term=value, rng=self.rng)
+            for j in self.party.all_party_ids():
+                self.send(j, ("input", gate.index, polynomial.evaluate(self.field.alpha(j))))
+
+    def _maybe_start_evaluation(self) -> None:
+        if self._current_layer >= 0:
+            return
+        if not all(index in self._input_oec for index in self._expected_inputs):
+            return
+        for gate in self.circuit.input_gates:
+            if gate.owner in self.core_set:
+                self._wire_shares[gate.index] = self._input_oec[gate.index]
+            else:
+                self._wire_shares[gate.index] = self.field.zero()
+        self._advance_layers(0)
+
+    # -- multiplication layers ----------------------------------------------------------------
+    def _evaluate_linear(self) -> None:
+        for gate in self.circuit.gates:
+            if gate.index in self._wire_shares or gate.kind in (GateType.INPUT, GateType.MUL):
+                continue
+            if not all(w in self._wire_shares for w in gate.inputs):
+                continue
+            left = self._wire_shares[gate.inputs[0]]
+            if gate.kind is GateType.ADD:
+                value = left + self._wire_shares[gate.inputs[1]]
+            elif gate.kind is GateType.SUB:
+                value = left - self._wire_shares[gate.inputs[1]]
+            elif gate.kind is GateType.CONST_MUL:
+                value = left * gate.constant
+            else:
+                value = left + gate.constant
+            self._wire_shares[gate.index] = value
+
+    def _advance_layers(self, layer_index: int) -> None:
+        self._evaluate_linear()
+        self._current_layer = layer_index
+        if layer_index >= len(self._layers):
+            self._begin_output()
+            return
+        gates = self._layers[layer_index]
+        masked: List[FieldElement] = []
+        for offset, gate_index in enumerate(gates):
+            gate = self.circuit.gates[gate_index]
+            x_share = self._wire_shares[gate.inputs[0]]
+            y_share = self._wire_shares[gate.inputs[1]]
+            a_share, b_share, _c = self.triples[self._used_triples + offset]
+            masked.append(x_share - a_share)
+            masked.append(y_share - b_share)
+        for position in range(len(masked)):
+            # Openings from faster parties may already have arrived (and
+            # created the corrector) before we entered this layer.
+            self._opening_oec.setdefault(
+                (layer_index, position),
+                OnlineErrorCorrector(self.field, self.faults, self.faults),
+            )
+        self.send_all(("open", layer_index, masked))
+        self._maybe_finish_layer(layer_index)
+
+    def _maybe_finish_layer(self, layer_index: int) -> None:
+        if layer_index != self._current_layer:
+            return
+        gates = self._layers[layer_index]
+        correctors = [
+            self._opening_oec.get((layer_index, position))
+            for position in range(2 * len(gates))
+        ]
+        if not all(corrector is not None and corrector.done for corrector in correctors):
+            return
+        for position, gate_index in enumerate(gates):
+            e_value = correctors[2 * position].secret()
+            d_value = correctors[2 * position + 1].secret()
+            a_share, b_share, c_share = self.triples[self._used_triples]
+            self._used_triples += 1
+            self._wire_shares[gate_index] = (
+                d_value * e_value + e_value * b_share + d_value * a_share + c_share
+            )
+        self._advance_layers(layer_index + 1)
+
+    # -- output ------------------------------------------------------------------------------------
+    def _begin_output(self) -> None:
+        self._evaluate_linear()
+        shares = [self._wire_shares.get(w, self.field.zero()) for w in self.circuit.outputs]
+        if not self._output_oec:
+            self._output_oec = [
+                OnlineErrorCorrector(self.field, self.faults, self.faults) for _ in shares
+            ]
+        self.send_all(("output", shares))
+        self._maybe_finish_output()
+
+    def _maybe_finish_output(self) -> None:
+        if not self._output_oec or self.has_output:
+            return
+        if all(corrector.done for corrector in self._output_oec):
+            self.set_output([corrector.secret() for corrector in self._output_oec])
+
+    # -- message handling ------------------------------------------------------------------------------
+    def receive(self, sender: int, payload: Any) -> None:
+        kind = payload[0]
+        if kind == "input":
+            gate_index, share = payload[1], payload[2]
+            gate = self.circuit.gates[gate_index]
+            if gate.kind is GateType.INPUT and gate.owner == sender and gate_index not in self._input_oec:
+                self._input_oec[gate_index] = share
+                self._maybe_start_evaluation()
+        elif kind == "open":
+            layer_index, values = payload[1], payload[2]
+            for position, value in enumerate(values):
+                corrector = self._opening_oec.get((layer_index, position))
+                if corrector is None:
+                    corrector = OnlineErrorCorrector(self.field, self.faults, self.faults)
+                    self._opening_oec[(layer_index, position)] = corrector
+                if isinstance(value, FieldElement):
+                    corrector.add_point(self.field.alpha(sender), value)
+            self._maybe_finish_layer(layer_index)
+        elif kind == "output":
+            values = payload[1]
+            if not self._output_oec:
+                # Buffer by creating the correctors lazily.
+                self._output_oec = [
+                    OnlineErrorCorrector(self.field, self.faults, self.faults) for _ in values
+                ]
+            for corrector, value in zip(self._output_oec, values):
+                if isinstance(value, FieldElement):
+                    corrector.add_point(self.field.alpha(sender), value)
+            self._maybe_finish_output()
+
+
+def run_asynchronous_baseline(
+    circuit: Circuit,
+    inputs: Dict[int, int],
+    n: int,
+    faults: int,
+    network: Optional[NetworkModel] = None,
+    seed: int = 0,
+    corrupt: Optional[Dict[int, Behavior]] = None,
+    max_time: Optional[float] = None,
+) -> RunResult:
+    """Run the asynchronous baseline end-to-end and return the raw run result."""
+    runner = ProtocolRunner(n, network=network or AsynchronousNetwork(), seed=seed, corrupt=corrupt)
+    dealer = TrustedTripleDealer(runner.field, n, degree=faults, seed=seed + 31)
+    views = dealer.triple_shares_for(max(1, circuit.multiplication_count))
+    core_set = list(range(1, n - faults + 1))
+
+    def factory(party):
+        value = inputs.get(party.id, 0)
+        values = list(value) if isinstance(value, (list, tuple)) else [value]
+        return AsynchronousMPC(
+            party,
+            "ampc",
+            circuit=circuit,
+            faults=faults,
+            core_set=core_set,
+            my_inputs=values,
+            triples=views[party.id],
+        )
+
+    return runner.run(factory, max_time=max_time)

@@ -1,0 +1,6 @@
+"""Broadcast primitives: Bracha's Acast and the best-of-both-worlds ΠBC."""
+
+from repro.broadcast.acast import AcastProtocol, acast_time_bound
+from repro.broadcast.bc import BroadcastProtocol, bc_time_bound
+
+__all__ = ["AcastProtocol", "acast_time_bound", "BroadcastProtocol", "bc_time_bound"]

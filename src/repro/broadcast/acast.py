@@ -1,0 +1,99 @@
+"""Bracha's asynchronous reliable broadcast (Acast), Appendix A / Lemma 2.4.
+
+A designated sender S broadcasts a message m.  With t < n/3 corruptions the
+protocol guarantees (asynchronously) liveness and validity for an honest S,
+and consistency for a corrupt S; in a synchronous network an honest sender's
+message is output by every honest party within 3*Delta.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Set
+
+from repro.sim.party import Party, ProtocolInstance
+
+_INIT = "init"
+_ECHO = "echo"
+_READY = "ready"
+
+
+def acast_time_bound(delta: float) -> float:
+    """Time by which honest parties output for an honest sender (sync): 3*Delta."""
+    return 3.0 * delta
+
+
+class AcastProtocol(ProtocolInstance):
+    """One Acast instance.
+
+    Every party instantiates the protocol with the same tag; only the party
+    whose id equals ``sender`` uses ``message`` (its input).  The output is
+    the delivered message.
+    """
+
+    def __init__(
+        self,
+        party: Party,
+        tag: str,
+        sender: int,
+        faults: int,
+        message: Any = None,
+    ):
+        super().__init__(party, tag)
+        self.sender = sender
+        self.faults = faults
+        self.message = message
+        self._echoed = False
+        self._readied = False
+        self._echo_counts: Dict[Any, Set[int]] = {}
+        self._ready_counts: Dict[Any, Set[int]] = {}
+
+    # -- thresholds ---------------------------------------------------------
+    @property
+    def _echo_threshold(self) -> int:
+        # ceil((n + t + 1) / 2) distinct echo messages.
+        return (self.n + self.faults + 2) // 2
+
+    @property
+    def _ready_amplify_threshold(self) -> int:
+        return self.faults + 1
+
+    @property
+    def _ready_output_threshold(self) -> int:
+        return 2 * self.faults + 1
+
+    # -- protocol -----------------------------------------------------------
+    def start(self) -> None:
+        if self.me == self.sender and self.message is not None:
+            self.send_all((_INIT, self.message))
+
+    def provide_input(self, message: Any) -> None:
+        """Late input injection for a sender that obtains m after start()."""
+        self.message = message
+        if self.me == self.sender:
+            self.send_all((_INIT, message))
+
+    def receive(self, sender: int, payload: Any) -> None:
+        kind, value = payload
+        if kind == _INIT:
+            if sender != self.sender or self._echoed:
+                return
+            self._echoed = True
+            self.send_all((_ECHO, value))
+        elif kind == _ECHO:
+            voters = self._echo_counts.setdefault(value, set())
+            if sender in voters:
+                return
+            voters.add(sender)
+            if len(voters) >= self._echo_threshold and not self._readied:
+                self._readied = True
+                self.send_all((_READY, value))
+        elif kind == _READY:
+            voters = self._ready_counts.setdefault(value, set())
+            if sender in voters:
+                return
+            voters.add(sender)
+            if len(voters) >= self._ready_amplify_threshold and not self._readied:
+                self._readied = True
+                self.send_all((_READY, value))
+            if len(voters) >= self._ready_output_threshold and not self.has_output:
+                self.set_output(value)

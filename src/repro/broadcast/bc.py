@@ -1,0 +1,150 @@
+"""ΠBC: synchronous broadcast with asynchronous guarantees (Fig 1 / Thm 3.5).
+
+The sender Acasts its message; at (relative) time 3Δ every party feeds the
+Acast output (or ⊥) into an instance of the phase-king SBA; at time
+3Δ + T_BGP the regular-mode output is the Acast value if it matches the SBA
+output, and ⊥ otherwise.  Parties that output ⊥ in regular mode later switch
+to the Acast value through the fallback mode (needed by the VSS layer).
+
+⊥ is represented by ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.ba.sba import PhaseKingSBA, sba_time_bound
+from repro.broadcast.acast import AcastProtocol
+from repro.sim.party import Party, ProtocolInstance
+from repro.timing import epsilon
+
+
+def bc_time_bound(n: int, t: int, delta: float) -> float:
+    """T_BC: time (relative to the instance anchor) of the regular-mode output.
+
+    The paper's T_BC is (12n-3)Δ for the recursive ΠBGP of [16]; with our
+    phase-king instantiation it is 3Δ + 3(t+1)Δ, plus the simulation's
+    tie-breaking epsilon.
+    """
+    return 3.0 * delta + sba_time_bound(n, t, delta) + 2 * epsilon(delta)
+
+
+class BroadcastProtocol(ProtocolInstance):
+    """One ΠBC instance with a designated sender.
+
+    ``anchor`` is the commonly-known local time at which the instance starts
+    counting (all its internal time-outs are relative to it); the enclosing
+    protocol fixes it so that every honest party uses the same anchor.  The
+    sender supplies its message at construction or later via
+    :meth:`provide_input` (a late input simply means the regular mode will
+    yield ⊥ and delivery happens through the fallback mode).
+    """
+
+    def __init__(
+        self,
+        party: Party,
+        tag: str,
+        sender: int,
+        faults: int,
+        message: Any = None,
+        anchor: Optional[float] = None,
+        delta: Optional[float] = None,
+    ):
+        super().__init__(party, tag)
+        self.sender = sender
+        self.faults = faults
+        self.delta = delta if delta is not None else party.simulator.delta
+        self.anchor = anchor
+        self.message = message
+        self.regular_output: Any = None
+        self.regular_decided = False
+        self._acast: AcastProtocol = self.spawn(
+            AcastProtocol, "acast", sender=sender, faults=faults, message=message
+        )
+        self._sba: Optional[PhaseKingSBA] = None
+
+    # -- timing -------------------------------------------------------------
+    @property
+    def time_bound(self) -> float:
+        return bc_time_bound(self.n, self.faults, self.delta)
+
+    # -- input ---------------------------------------------------------------
+    def provide_input(self, message: Any) -> None:
+        """Sender-side: supply the message (possibly after start)."""
+        self.message = message
+        if self.me == self.sender:
+            self._acast.provide_input(message)
+
+    # -- protocol --------------------------------------------------------------
+    def start(self) -> None:
+        if self.anchor is None:
+            self.anchor = self.now
+        self._acast.start()
+        eps = epsilon(self.delta)
+        self.schedule_at(self.anchor + 3.0 * self.delta + eps, self._start_sba)
+        self.schedule_at(self.anchor + self.time_bound, self._decide_regular)
+        self._acast.on_output(self._maybe_fallback)
+
+    def _start_sba(self) -> None:
+        sba_input = self._acast.output if self._acast.has_output else None
+        self._sba = self.spawn(
+            PhaseKingSBA,
+            "sba",
+            faults=self.faults,
+            value=sba_input,
+            delta=self.delta,
+        )
+        self._sba.start()
+
+    def _decide_regular(self) -> None:
+        acast_value = self._acast.output if self._acast.has_output else None
+        sba_value = self._sba.output if (self._sba and self._sba.has_output) else None
+        if acast_value is not None and sba_value == acast_value:
+            self.regular_output = acast_value
+        else:
+            self.regular_output = None
+        self.regular_decided = True
+        self.set_output(self.regular_output)
+        # The Acast may already have delivered (fallback applies immediately).
+        if self.regular_output is None and self._acast.has_output:
+            self._maybe_fallback(self._acast.output)
+
+    def _maybe_fallback(self, acast_value: Any) -> None:
+        """Fallback mode: a ⊥ regular output switches to the Acast value."""
+        if not self.regular_decided:
+            return
+        if self.regular_output is not None:
+            return
+        if acast_value is None:
+            return
+        self.update_output(acast_value)
+
+    # -- queries used by enclosing protocols -----------------------------------
+    def output_via_regular_mode(self) -> Any:
+        """The regular-mode output (None if ⊥ or not yet decided)."""
+        return self.regular_output if self.regular_decided else None
+
+    @property
+    def fallback_output(self) -> Any:
+        """Current output, whether obtained through regular or fallback mode."""
+        return self.output
+
+    def on_delivery(self, callback) -> None:
+        """Invoke ``callback(value)`` once a non-⊥ value is delivered.
+
+        Fires immediately if a value is already available (regular mode);
+        otherwise waits for the fallback mode (or, before the regular
+        decision, for whichever mode delivers first).
+        """
+        if self.output is not None:
+            callback(self.output)
+            return
+
+        def _filter(value: Any) -> None:
+            if value is not None:
+                callback(value)
+            else:
+                # Regular mode yielded ⊥; re-arm for the fallback delivery.
+                self._output_callbacks.append(_filter)
+
+        self._output_callbacks.append(_filter)

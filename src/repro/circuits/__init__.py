@@ -1,0 +1,28 @@
+"""Arithmetic circuits over GF(p): representation, builder DSL and a library
+of example workloads used by the examples and benchmarks."""
+
+from repro.circuits.circuit import Gate, GateType, Circuit
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.library import (
+    multiplication_circuit,
+    inner_product_circuit,
+    polynomial_evaluation_circuit,
+    equality_to_zero_circuit,
+    mean_circuit,
+    second_price_auction_circuit,
+    millionaires_product_circuit,
+)
+
+__all__ = [
+    "Gate",
+    "GateType",
+    "Circuit",
+    "CircuitBuilder",
+    "multiplication_circuit",
+    "inner_product_circuit",
+    "polynomial_evaluation_circuit",
+    "equality_to_zero_circuit",
+    "mean_circuit",
+    "second_price_auction_circuit",
+    "millionaires_product_circuit",
+]

@@ -1,0 +1,99 @@
+"""A small DSL for building arithmetic circuits.
+
+Example::
+
+    builder = CircuitBuilder(field)
+    x = builder.input(owner=1)
+    y = builder.input(owner=2)
+    z = builder.mul(builder.add(x, y), builder.constant_mul(x, 3))
+    circuit = builder.build(outputs=[z])
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.circuits.circuit import Circuit, Gate, GateType
+from repro.field.gf import GF
+
+
+class CircuitBuilder:
+    """Incrementally constructs a :class:`Circuit` in topological order."""
+
+    def __init__(self, field: GF):
+        self.field = field
+        self._gates: List[Gate] = []
+
+    def _append(self, kind: GateType, inputs: Sequence[int] = (), constant=None,
+                owner: Optional[int] = None) -> int:
+        gate = Gate(len(self._gates), kind, inputs, constant, owner)
+        self._gates.append(gate)
+        return gate.index
+
+    # -- gate constructors; each returns the new wire index -----------------------
+    def input(self, owner: int) -> int:
+        """An input wire owned by party ``owner`` (1-based party id)."""
+        return self._append(GateType.INPUT, owner=owner)
+
+    def add(self, a: int, b: int) -> int:
+        return self._append(GateType.ADD, (a, b))
+
+    def sub(self, a: int, b: int) -> int:
+        return self._append(GateType.SUB, (a, b))
+
+    def mul(self, a: int, b: int) -> int:
+        return self._append(GateType.MUL, (a, b))
+
+    def constant_mul(self, a: int, constant) -> int:
+        return self._append(GateType.CONST_MUL, (a,), constant=self.field(constant))
+
+    def constant_add(self, a: int, constant) -> int:
+        return self._append(GateType.CONST_ADD, (a,), constant=self.field(constant))
+
+    def sum(self, wires: Sequence[int]) -> int:
+        """Binary-tree sum of any number of wires."""
+        if not wires:
+            raise ValueError("cannot sum zero wires")
+        current = list(wires)
+        while len(current) > 1:
+            nxt = []
+            for index in range(0, len(current) - 1, 2):
+                nxt.append(self.add(current[index], current[index + 1]))
+            if len(current) % 2 == 1:
+                nxt.append(current[-1])
+            current = nxt
+        return current[0]
+
+    def product(self, wires: Sequence[int]) -> int:
+        """Binary-tree product of any number of wires (log-depth)."""
+        if not wires:
+            raise ValueError("cannot multiply zero wires")
+        current = list(wires)
+        while len(current) > 1:
+            nxt = []
+            for index in range(0, len(current) - 1, 2):
+                nxt.append(self.mul(current[index], current[index + 1]))
+            if len(current) % 2 == 1:
+                nxt.append(current[-1])
+            current = nxt
+        return current[0]
+
+    def power(self, wire: int, exponent: int) -> int:
+        """wire**exponent via square-and-multiply."""
+        if exponent < 1:
+            raise ValueError("exponent must be >= 1")
+        result: Optional[int] = None
+        base = wire
+        remaining = exponent
+        while remaining:
+            if remaining & 1:
+                result = base if result is None else self.mul(result, base)
+            remaining >>= 1
+            if remaining:
+                base = self.mul(base, base)
+        assert result is not None
+        return result
+
+    # -- finalize -----------------------------------------------------------------------
+    def build(self, outputs: Sequence[int]) -> Circuit:
+        return Circuit(self.field, list(self._gates), list(outputs))

@@ -1,0 +1,104 @@
+"""A library of example circuits used by the examples, tests and benchmarks.
+
+These model the workloads the paper's introduction motivates for MPC --
+joint statistics, auctions, comparisons -- expressed as arithmetic circuits
+over GF(p).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.circuit import Circuit
+from repro.field.gf import GF
+
+
+def multiplication_circuit(field: GF, n_parties: int) -> Circuit:
+    """The product of all parties' inputs (one multiplication layer per level)."""
+    builder = CircuitBuilder(field)
+    wires = [builder.input(owner=i) for i in range(1, n_parties + 1)]
+    product = builder.product(wires)
+    return builder.build(outputs=[product])
+
+
+def mean_circuit(field: GF, n_parties: int, scale: int = 1) -> Circuit:
+    """A scaled sum of all inputs (linear circuit; zero multiplications)."""
+    builder = CircuitBuilder(field)
+    wires = [builder.input(owner=i) for i in range(1, n_parties + 1)]
+    total = builder.sum(wires)
+    scaled = builder.constant_mul(total, scale)
+    return builder.build(outputs=[scaled])
+
+
+def inner_product_circuit(field: GF, owners_x: Sequence[int], owners_y: Sequence[int]) -> Circuit:
+    """Inner product between two input vectors contributed by two party groups."""
+    if len(owners_x) != len(owners_y):
+        raise ValueError("vectors must have equal length")
+    builder = CircuitBuilder(field)
+    xs = [builder.input(owner=o) for o in owners_x]
+    ys = [builder.input(owner=o) for o in owners_y]
+    terms = [builder.mul(x, y) for x, y in zip(xs, ys)]
+    return builder.build(outputs=[builder.sum(terms)])
+
+
+def polynomial_evaluation_circuit(field: GF, coefficients: Sequence[int], owner: int) -> Circuit:
+    """Evaluate a public polynomial at a private input (Horner's rule)."""
+    builder = CircuitBuilder(field)
+    x = builder.input(owner=owner)
+    accumulator: Optional[int] = None
+    for coefficient in coefficients:
+        if accumulator is None:
+            accumulator = builder.constant_add(builder.constant_mul(x, 0), coefficient)
+        else:
+            accumulator = builder.constant_add(builder.mul(accumulator, x), coefficient)
+    assert accumulator is not None
+    return builder.build(outputs=[accumulator])
+
+
+def equality_to_zero_circuit(field: GF, owner_a: int, owner_b: int) -> Circuit:
+    """Outputs (a - b) * r with r the product of the remaining parties' inputs.
+
+    A standard MPC idiom: the output is zero iff a == b, and otherwise it is
+    masked by the random value r, revealing nothing further.
+    """
+    builder = CircuitBuilder(field)
+    a = builder.input(owner=owner_a)
+    b = builder.input(owner=owner_b)
+    randomizer_a = builder.input(owner=owner_a)
+    randomizer_b = builder.input(owner=owner_b)
+    mask = builder.mul(randomizer_a, randomizer_b)
+    difference = builder.sub(a, b)
+    return builder.build(outputs=[builder.mul(difference, mask)])
+
+
+def millionaires_product_circuit(field: GF, n_parties: int) -> Circuit:
+    """A joint "score": sum of pairwise products of consecutive parties' inputs.
+
+    Used as a mid-size benchmark workload with c_M = n - 1 multiplications
+    in a single multiplicative layer.
+    """
+    builder = CircuitBuilder(field)
+    wires = [builder.input(owner=i) for i in range(1, n_parties + 1)]
+    products = [builder.mul(wires[i], wires[i + 1]) for i in range(n_parties - 1)]
+    return builder.build(outputs=[builder.sum(products)])
+
+
+def second_price_auction_circuit(field: GF, n_parties: int) -> Circuit:
+    """A toy sealed-bid "auction" statistic.
+
+    Computes sum_i bid_i * weight_i where weight_i is the product of the two
+    neighbouring bids -- an artificial but multiplication-heavy workload of
+    depth 2 used to exercise layered circuit evaluation.  (A real
+    second-price auction needs comparisons, which require bit-decomposition
+    machinery beyond the paper's scope.)
+    """
+    builder = CircuitBuilder(field)
+    bids = [builder.input(owner=i) for i in range(1, n_parties + 1)]
+    terms: List[int] = []
+    for i in range(n_parties):
+        left = bids[(i - 1) % n_parties]
+        right = bids[(i + 1) % n_parties]
+        weight = builder.mul(left, right)
+        terms.append(builder.mul(bids[i], weight))
+    return builder.build(outputs=[builder.sum(terms)])

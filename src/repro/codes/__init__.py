@@ -1,0 +1,11 @@
+"""Error-correction substrate: Reed-Solomon decoding and Online Error Correction."""
+
+from repro.codes.reed_solomon import rs_decode, rs_interpolate_with_errors
+from repro.codes.oec import OnlineErrorCorrector, OECStatus
+
+__all__ = [
+    "rs_decode",
+    "rs_interpolate_with_errors",
+    "OnlineErrorCorrector",
+    "OECStatus",
+]

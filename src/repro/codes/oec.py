@@ -1,0 +1,84 @@
+"""Online Error Correction (OEC), Appendix A of the paper.
+
+A receiving party P_R collects points on an unknown d-degree polynomial
+q(.) from a subset P' of parties containing at most t corruptions.  Each
+time a new point arrives, P_R re-runs RS decoding; as soon as it finds a
+d-degree polynomial on which at least d + t + 1 of the received points lie,
+that polynomial is guaranteed to be q(.) (because at least d + 1 of those
+points come from honest parties).  OEC succeeds whenever d < |P'| - 2t.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+from repro.codes.reed_solomon import rs_decode
+from repro.field.gf import GF, FieldElement
+from repro.field.polynomial import Polynomial
+
+
+class OECStatus(enum.Enum):
+    """State of an online error correction attempt."""
+
+    WAITING = "waiting"
+    DONE = "done"
+
+
+class OnlineErrorCorrector:
+    """Incremental OEC(d, t, P') as used throughout the paper.
+
+    Feed points with :meth:`add_point`; once enough consistent points have
+    arrived, :attr:`polynomial` holds the recovered d-degree polynomial.
+    """
+
+    def __init__(self, field: GF, degree: int, max_faults: int):
+        self.field = field
+        self.degree = degree
+        self.max_faults = max_faults
+        self.points: Dict[int, FieldElement] = {}
+        self.polynomial: Optional[Polynomial] = None
+        self.status = OECStatus.WAITING
+
+    def add_point(self, x, y) -> Optional[Polynomial]:
+        """Record the point (x, y) and retry decoding.
+
+        Returns the recovered polynomial once decoding succeeds, else None.
+        Duplicate x values keep the first reported y (a sender cannot
+        retroactively change its point).
+        """
+        if self.status is OECStatus.DONE:
+            return self.polynomial
+        x_val = int(self.field(x))
+        if x_val not in self.points:
+            self.points[x_val] = self.field(y)
+        return self.try_decode()
+
+    def try_decode(self) -> Optional[Polynomial]:
+        """Attempt RS decoding with the points received so far."""
+        if self.status is OECStatus.DONE:
+            return self.polynomial
+        if len(self.points) < self.degree + self.max_faults + 1:
+            return None
+        point_list = [(self.field(x), y) for x, y in self.points.items()]
+        poly = rs_decode(self.field, point_list, self.degree, self.max_faults)
+        if poly is not None:
+            self.polynomial = poly
+            self.status = OECStatus.DONE
+        return poly
+
+    @property
+    def done(self) -> bool:
+        return self.status is OECStatus.DONE
+
+    def value_at(self, x) -> Optional[FieldElement]:
+        """Evaluate the recovered polynomial, if available."""
+        if self.polynomial is None:
+            return None
+        return self.polynomial.evaluate(x)
+
+    def secret(self) -> Optional[FieldElement]:
+        """The recovered polynomial's constant term (the shared value)."""
+        if self.polynomial is None:
+            return None
+        return self.polynomial.constant_term()

@@ -1,0 +1,154 @@
+"""Reed-Solomon error correction over GF(p) via the Berlekamp-Welch algorithm.
+
+OEC (Appendix A of the paper) repeatedly applies "the RS error-correction
+procedure" to a growing set of points, trying to recover a d-degree
+polynomial in the presence of up to ``max_errors`` corrupted points.  We
+implement Berlekamp-Welch, which solves the problem whenever
+
+    number_of_points >= d + 2 * actual_errors + 1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.field.gf import GF, FieldElement
+from repro.field.polynomial import Polynomial
+
+
+def _solve_linear_system(
+    field: GF, matrix: List[List[FieldElement]], rhs: List[FieldElement]
+) -> Optional[List[FieldElement]]:
+    """Gaussian elimination over GF(p).
+
+    Returns one solution of ``matrix @ x = rhs`` (free variables set to 0),
+    or None if the system is inconsistent.
+    """
+    rows = len(matrix)
+    cols = len(matrix[0]) if rows else 0
+    aug = [list(matrix[r]) + [rhs[r]] for r in range(rows)]
+    pivot_cols: List[int] = []
+    row = 0
+    for col in range(cols):
+        pivot_row = None
+        for candidate in range(row, rows):
+            if aug[candidate][col].value != 0:
+                pivot_row = candidate
+                break
+        if pivot_row is None:
+            continue
+        aug[row], aug[pivot_row] = aug[pivot_row], aug[row]
+        inv = aug[row][col].inverse()
+        aug[row] = [entry * inv for entry in aug[row]]
+        for other in range(rows):
+            if other != row and aug[other][col].value != 0:
+                factor = aug[other][col]
+                aug[other] = [a - factor * b for a, b in zip(aug[other], aug[row])]
+        pivot_cols.append(col)
+        row += 1
+        if row == rows:
+            break
+    # Inconsistent if a zero row has non-zero rhs.
+    for r in range(row, rows):
+        if all(aug[r][c].value == 0 for c in range(cols)) and aug[r][cols].value != 0:
+            return None
+    solution = [field.zero()] * cols
+    for r, col in enumerate(pivot_cols):
+        solution[col] = aug[r][cols]
+    return solution
+
+
+def rs_interpolate_with_errors(
+    field: GF,
+    points: Sequence[Tuple],
+    degree: int,
+    max_errors: int,
+) -> Optional[Polynomial]:
+    """Berlekamp-Welch decoding.
+
+    Given points (x_i, y_i) of which at most ``max_errors`` have a corrupted
+    y_i, return the unique polynomial of degree <= ``degree`` consistent with
+    the rest, or None if decoding fails (too many errors / not enough points).
+    """
+    xs = [field(x) for x, _ in points]
+    ys = [field(y) for _, y in points]
+    n_points = len(points)
+    if n_points < degree + 1:
+        return None
+
+    for errors in range(max_errors, -1, -1):
+        if n_points < degree + 2 * errors + 1:
+            continue
+        poly = _berlekamp_welch(field, xs, ys, degree, errors)
+        if poly is None:
+            continue
+        # Verify the error bound actually holds for the decoded polynomial.
+        mismatches = sum(1 for x, y in zip(xs, ys) if poly.evaluate(x) != y)
+        if mismatches <= max_errors:
+            return poly
+    return None
+
+
+def _berlekamp_welch(
+    field: GF,
+    xs: List[FieldElement],
+    ys: List[FieldElement],
+    degree: int,
+    errors: int,
+) -> Optional[Polynomial]:
+    """Solve for E(x) (monic, degree ``errors``) and Q(x) with Q = f * E."""
+    n_points = len(xs)
+    q_degree = degree + errors
+    # Unknowns: q_0..q_{q_degree}, e_0..e_{errors-1}  (E is monic of degree ``errors``).
+    num_unknowns = (q_degree + 1) + errors
+    matrix: List[List[FieldElement]] = []
+    rhs: List[FieldElement] = []
+    for x, y in zip(xs, ys):
+        row = []
+        x_pow = field.one()
+        for _ in range(q_degree + 1):
+            row.append(x_pow)
+            x_pow = x_pow * x
+        x_pow = field.one()
+        for _ in range(errors):
+            row.append(-(y * x_pow))
+            x_pow = x_pow * x
+        matrix.append(row)
+        # Monic leading term of E moves to the right-hand side.
+        rhs.append(y * (x ** errors))
+    solution = _solve_linear_system(field, matrix, rhs)
+    if solution is None:
+        return None
+    q_coeffs = solution[: q_degree + 1]
+    e_coeffs = solution[q_degree + 1 :] + [field.one()]
+    q_poly = Polynomial(field, q_coeffs)
+    e_poly = Polynomial(field, e_coeffs)
+    if e_poly.is_zero():
+        return None
+    quotient, remainder = q_poly.divmod(e_poly)
+    if not remainder.is_zero():
+        return None
+    if quotient.degree > degree:
+        return None
+    return quotient
+
+
+def rs_decode(
+    field: GF,
+    points: Sequence[Tuple],
+    degree: int,
+    max_errors: int,
+) -> Optional[Polynomial]:
+    """Decode and additionally require at least degree + max_errors + 1 agreeing points.
+
+    This is the acceptance condition the OEC procedure uses: the decoded
+    polynomial must agree with at least d + t + 1 of the received points,
+    which guarantees that at least d + 1 honest points lie on it.
+    """
+    poly = rs_interpolate_with_errors(field, points, degree, max_errors)
+    if poly is None:
+        return None
+    agreeing = sum(1 for x, y in points if poly.evaluate(x) == field(y))
+    if agreeing < degree + max_errors + 1:
+        return None
+    return poly

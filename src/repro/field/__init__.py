@@ -1,0 +1,22 @@
+"""Finite-field algebra substrate.
+
+Provides the prime field GF(p), univariate polynomials with Lagrange
+interpolation, and symmetric bivariate polynomials -- the algebraic
+objects used by every protocol in the paper (Section 2, "Polynomials
+Over a Field").
+"""
+
+from repro.field.gf import GF, FieldElement, DEFAULT_PRIME, default_field
+from repro.field.polynomial import Polynomial, lagrange_interpolate, lagrange_coefficients
+from repro.field.bivariate import SymmetricBivariatePolynomial
+
+__all__ = [
+    "GF",
+    "FieldElement",
+    "DEFAULT_PRIME",
+    "default_field",
+    "Polynomial",
+    "lagrange_interpolate",
+    "lagrange_coefficients",
+    "SymmetricBivariatePolynomial",
+]

@@ -1,0 +1,172 @@
+"""Symmetric bivariate polynomials over GF(p).
+
+The VSS and WPS protocols embed a dealer's degree-t univariate polynomial
+q(.) into a random (t, t)-degree *symmetric* bivariate polynomial Q(x, y)
+with Q(0, y) = q(y), and hand party P_i the univariate restriction
+q_i(x) = Q(x, alpha_i).  Symmetry (Q(x, y) = Q(y, x)) is what makes the
+pair-wise consistency test q_i(alpha_j) = q_j(alpha_i) work (Section 2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.field.gf import GF, FieldElement
+from repro.field.polynomial import Polynomial, lagrange_interpolate
+
+
+class SymmetricBivariatePolynomial:
+    """An (ell, ell)-degree symmetric bivariate polynomial F(x, y).
+
+    Stored as a coefficient matrix ``coeffs[i][j]`` for x**i * y**j with
+    coeffs[i][j] == coeffs[j][i].
+    """
+
+    __slots__ = ("field", "degree", "coeffs")
+
+    def __init__(self, field: GF, coeffs: Sequence[Sequence[FieldElement]]):
+        self.field = field
+        self.degree = len(coeffs) - 1
+        matrix = [[field(c) for c in row] for row in coeffs]
+        for row in matrix:
+            if len(row) != self.degree + 1:
+                raise ValueError("coefficient matrix must be square")
+        for i in range(self.degree + 1):
+            for j in range(i + 1, self.degree + 1):
+                if matrix[i][j] != matrix[j][i]:
+                    raise ValueError("coefficient matrix must be symmetric")
+        self.coeffs = matrix
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def random_embedding(
+        cls,
+        field: GF,
+        univariate: Polynomial,
+        rng: Optional[random.Random] = None,
+    ) -> "SymmetricBivariatePolynomial":
+        """Random symmetric Q(x, y) of degree t with Q(0, y) = univariate(y).
+
+        This is exactly the dealer's Phase-I step in Pi_WPS / Pi_VSS.
+        """
+        rng = rng or random
+        t = univariate.degree
+        coeffs = [[field.zero()] * (t + 1) for _ in range(t + 1)]
+        # Fix the x = 0 row/column from the input polynomial: Q(0, y) = sum_j c_j y^j.
+        for j in range(t + 1):
+            value = univariate.coeffs[j] if j < len(univariate.coeffs) else field.zero()
+            coeffs[0][j] = value
+            coeffs[j][0] = value
+        # Remaining upper-triangular coefficients are uniformly random.
+        for i in range(1, t + 1):
+            for j in range(i, t + 1):
+                value = field.random(rng)
+                coeffs[i][j] = value
+                coeffs[j][i] = value
+        return cls(field, coeffs)
+
+    @classmethod
+    def random(
+        cls, field: GF, degree: int, rng: Optional[random.Random] = None
+    ) -> "SymmetricBivariatePolynomial":
+        rng = rng or random
+        return cls.random_embedding(field, Polynomial.random(field, degree, rng=rng), rng=rng)
+
+    @classmethod
+    def from_univariate_rows(
+        cls, field: GF, rows: Sequence[Tuple[FieldElement, Polynomial]]
+    ) -> "SymmetricBivariatePolynomial":
+        """Reconstruct F(x, y) from >= degree+1 pairwise-consistent rows.
+
+        ``rows`` is a sequence of (alpha_i, f_i) with f_i(x) = F(x, alpha_i).
+        This mirrors Lemma 2.1: sufficiently many pairwise-consistent
+        univariate polynomials determine a unique symmetric bivariate one.
+        """
+        if not rows:
+            raise ValueError("need at least one row")
+        degree = max(poly.degree for _, poly in rows)
+        if len(rows) < degree + 1:
+            raise ValueError("need at least degree+1 rows to reconstruct")
+        selected = rows[: degree + 1]
+        # For each x-power k, interpolate the coefficient polynomial in y.
+        coeffs = [[field.zero()] * (degree + 1) for _ in range(degree + 1)]
+        for k in range(degree + 1):
+            points = []
+            for alpha, poly in selected:
+                coeff = poly.coeffs[k] if k < len(poly.coeffs) else field.zero()
+                points.append((alpha, coeff))
+            column = lagrange_interpolate(field, points)
+            for j in range(degree + 1):
+                value = column.coeffs[j] if j < len(column.coeffs) else field.zero()
+                coeffs[k][j] = value
+        # Symmetrize defensively (exact if rows really are consistent).
+        for i in range(degree + 1):
+            for j in range(i + 1, degree + 1):
+                if coeffs[i][j] != coeffs[j][i]:
+                    raise ValueError("rows are not pairwise consistent")
+        return cls(field, coeffs)
+
+    # -- evaluation --------------------------------------------------------
+    def evaluate(self, x, y) -> FieldElement:
+        x = self.field(x)
+        y = self.field(y)
+        total = self.field.zero()
+        x_pow = self.field.one()
+        for i in range(self.degree + 1):
+            y_pow = self.field.one()
+            row_total = self.field.zero()
+            for j in range(self.degree + 1):
+                row_total = row_total + self.coeffs[i][j] * y_pow
+                y_pow = y_pow * y
+            total = total + row_total * x_pow
+            x_pow = x_pow * x
+        return total
+
+    def row(self, y) -> Polynomial:
+        """The univariate restriction F(x, y0) as a polynomial in x.
+
+        For party P_i the dealer sends ``row(alpha_i)``; by symmetry this
+        equals F(alpha_i, y) viewed as a polynomial in y.
+        """
+        y = self.field(y)
+        coeffs = []
+        for i in range(self.degree + 1):
+            acc = self.field.zero()
+            y_pow = self.field.one()
+            for j in range(self.degree + 1):
+                acc = acc + self.coeffs[i][j] * y_pow
+                y_pow = y_pow * y
+            coeffs.append(acc)
+        return Polynomial(self.field, coeffs)
+
+    def zero_row(self) -> Polynomial:
+        """Q(0, y): the dealer's embedded univariate polynomial."""
+        return Polynomial(self.field, list(self.coeffs[0]))
+
+    def secret(self) -> FieldElement:
+        """F(0, 0), the shared secret."""
+        return self.coeffs[0][0]
+
+    def is_symmetric(self) -> bool:
+        return all(
+            self.coeffs[i][j] == self.coeffs[j][i]
+            for i in range(self.degree + 1)
+            for j in range(self.degree + 1)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SymmetricBivariatePolynomial):
+            return NotImplemented
+        return (
+            self.field == other.field
+            and self.degree == other.degree
+            and all(
+                self.coeffs[i][j] == other.coeffs[i][j]
+                for i in range(self.degree + 1)
+                for j in range(self.degree + 1)
+            )
+        )
+
+    def __repr__(self) -> str:
+        return f"SymmetricBivariatePolynomial(degree={self.degree})"

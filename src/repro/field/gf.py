@@ -1,0 +1,224 @@
+"""Prime-field arithmetic GF(p).
+
+All protocol computation in the paper happens over a finite field F with
+|F| > 2n (Section 2).  We implement GF(p) for a prime p; the default is the
+61-bit Mersenne prime 2**61 - 1, which is comfortably larger than any party
+count we simulate and keeps Python integer arithmetic fast.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Union
+
+#: Default modulus: the Mersenne prime 2**61 - 1.
+DEFAULT_PRIME = (1 << 61) - 1
+
+IntLike = Union[int, "FieldElement"]
+
+
+def _is_probable_prime(n: int, rounds: int = 16) -> bool:
+    """Miller-Rabin probabilistic primality test (deterministic for small n)."""
+    if n < 2:
+        return False
+    small_primes = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37]
+    for p in small_primes:
+        if n % p == 0:
+            return n == p
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    rng = random.Random(0xC0FFEE)
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+class FieldElement:
+    """An element of GF(p).
+
+    Immutable; supports the usual arithmetic operators.  Elements of
+    different fields never mix.
+    """
+
+    __slots__ = ("value", "field")
+
+    def __init__(self, value: int, field: "GF"):
+        self.value = value % field.modulus
+        self.field = field
+
+    # -- arithmetic -------------------------------------------------------
+    def _coerce(self, other: IntLike) -> "FieldElement":
+        if isinstance(other, FieldElement):
+            if other.field is not self.field and other.field.modulus != self.field.modulus:
+                raise ValueError("cannot mix elements of different fields")
+            return other
+        if isinstance(other, int):
+            return FieldElement(other, self.field)
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other: IntLike) -> "FieldElement":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return FieldElement(self.value + other.value, self.field)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: IntLike) -> "FieldElement":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return FieldElement(self.value - other.value, self.field)
+
+    def __rsub__(self, other: IntLike) -> "FieldElement":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return FieldElement(other.value - self.value, self.field)
+
+    def __mul__(self, other: IntLike) -> "FieldElement":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return FieldElement(self.value * other.value, self.field)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: IntLike) -> "FieldElement":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return self * other.inverse()
+
+    def __rtruediv__(self, other: IntLike) -> "FieldElement":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return other * self.inverse()
+
+    def __neg__(self) -> "FieldElement":
+        return FieldElement(-self.value, self.field)
+
+    def __pow__(self, exponent: int) -> "FieldElement":
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        return FieldElement(pow(self.value, exponent, self.field.modulus), self.field)
+
+    def inverse(self) -> "FieldElement":
+        """Multiplicative inverse; raises ZeroDivisionError for zero."""
+        if self.value == 0:
+            raise ZeroDivisionError("zero has no multiplicative inverse")
+        return FieldElement(pow(self.value, self.field.modulus - 2, self.field.modulus), self.field)
+
+    # -- comparisons / hashing -------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FieldElement):
+            return self.value == other.value and self.field.modulus == other.field.modulus
+        if isinstance(other, int):
+            return self.value == other % self.field.modulus
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.field.modulus))
+
+    def __bool__(self) -> bool:
+        return self.value != 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"FieldElement({self.value})"
+
+
+class GF:
+    """The prime field GF(p).
+
+    Acts as an element factory and holds field-wide helpers (random
+    elements, evaluation points alpha_i / beta_i used by the protocols).
+    """
+
+    def __init__(self, modulus: int = DEFAULT_PRIME, check_prime: bool = True):
+        if check_prime and not _is_probable_prime(modulus):
+            raise ValueError(f"modulus {modulus} is not prime")
+        self.modulus = modulus
+
+    # -- element construction --------------------------------------------
+    def __call__(self, value: IntLike) -> FieldElement:
+        if isinstance(value, FieldElement):
+            if value.field.modulus != self.modulus:
+                raise ValueError("element belongs to a different field")
+            return value
+        return FieldElement(int(value), self)
+
+    def zero(self) -> FieldElement:
+        return FieldElement(0, self)
+
+    def one(self) -> FieldElement:
+        return FieldElement(1, self)
+
+    def random(self, rng: Optional[random.Random] = None) -> FieldElement:
+        rng = rng or random
+        return FieldElement(rng.randrange(self.modulus), self)
+
+    def random_list(self, count: int, rng: Optional[random.Random] = None) -> List[FieldElement]:
+        return [self.random(rng) for _ in range(count)]
+
+    # -- protocol evaluation points ---------------------------------------
+    def alpha(self, i: int) -> FieldElement:
+        """Public evaluation point alpha_i for party P_i (1-indexed).
+
+        The paper fixes publicly-known, distinct, non-zero elements
+        alpha_1..alpha_n; we use alpha_i = i.
+        """
+        if i < 1:
+            raise ValueError("party indices are 1-based")
+        return FieldElement(i, self)
+
+    def beta(self, j: int) -> FieldElement:
+        """Public extraction point beta_j, distinct from all alpha_i.
+
+        Used by the triple-extraction and triple-sharing protocols; we place
+        the betas far above any realistic party count.
+        """
+        if j < 1:
+            raise ValueError("beta indices are 1-based")
+        return FieldElement(10_000 + j, self)
+
+    def elements(self, values: Iterable[IntLike]) -> List[FieldElement]:
+        return [self(v) for v in values]
+
+    def element_bits(self) -> int:
+        """Number of bits needed to represent one field element (log |F|)."""
+        return self.modulus.bit_length()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GF) and other.modulus == self.modulus
+
+    def __hash__(self) -> int:
+        return hash(("GF", self.modulus))
+
+    def __repr__(self) -> str:
+        return f"GF({self.modulus})"
+
+
+_DEFAULT_FIELD: Optional[GF] = None
+
+
+def default_field() -> GF:
+    """Process-wide default field GF(2**61 - 1)."""
+    global _DEFAULT_FIELD
+    if _DEFAULT_FIELD is None:
+        _DEFAULT_FIELD = GF(DEFAULT_PRIME, check_prime=False)
+    return _DEFAULT_FIELD

@@ -1,0 +1,211 @@
+"""Univariate polynomials over GF(p).
+
+Shamir sharing, OEC and the triple protocols all manipulate d-degree
+univariate polynomials; this module provides construction, evaluation,
+arithmetic and Lagrange interpolation for them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.field.gf import GF, FieldElement
+
+
+class Polynomial:
+    """A univariate polynomial over GF(p), stored as a coefficient list.
+
+    ``coeffs[k]`` is the coefficient of x**k.  Trailing zero coefficients
+    are stripped, except that the zero polynomial keeps a single zero
+    coefficient.
+    """
+
+    __slots__ = ("field", "coeffs")
+
+    def __init__(self, field: GF, coeffs: Sequence[FieldElement]):
+        self.field = field
+        normalized = [field(c) for c in coeffs] or [field.zero()]
+        while len(normalized) > 1 and normalized[-1].value == 0:
+            normalized.pop()
+        self.coeffs = normalized
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def zero(cls, field: GF) -> "Polynomial":
+        return cls(field, [field.zero()])
+
+    @classmethod
+    def constant(cls, field: GF, value) -> "Polynomial":
+        return cls(field, [field(value)])
+
+    @classmethod
+    def random(
+        cls,
+        field: GF,
+        degree: int,
+        constant_term=None,
+        rng: Optional[random.Random] = None,
+    ) -> "Polynomial":
+        """A uniformly random polynomial of the given degree.
+
+        If ``constant_term`` is provided the polynomial is random subject to
+        f(0) = constant_term (the standard way a dealer hides a secret).
+        """
+        rng = rng or random
+        coeffs = [field.random(rng) for _ in range(degree + 1)]
+        if constant_term is not None:
+            coeffs[0] = field(constant_term)
+        return cls(field, coeffs)
+
+    # -- basic queries -----------------------------------------------------
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial (0 for constants, including zero)."""
+        return len(self.coeffs) - 1
+
+    def is_zero(self) -> bool:
+        return len(self.coeffs) == 1 and self.coeffs[0].value == 0
+
+    def constant_term(self) -> FieldElement:
+        return self.coeffs[0]
+
+    def evaluate(self, x) -> FieldElement:
+        """Evaluate at x using Horner's rule."""
+        x = self.field(x)
+        acc = self.field.zero()
+        for coeff in reversed(self.coeffs):
+            acc = acc * x + coeff
+        return acc
+
+    __call__ = evaluate
+
+    def evaluate_many(self, xs: Sequence) -> List[FieldElement]:
+        return [self.evaluate(x) for x in xs]
+
+    # -- arithmetic --------------------------------------------------------
+    def _pad(self, length: int) -> List[FieldElement]:
+        return self.coeffs + [self.field.zero()] * (length - len(self.coeffs))
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        length = max(len(self.coeffs), len(other.coeffs))
+        return Polynomial(
+            self.field,
+            [a + b for a, b in zip(self._pad(length), other._pad(length))],
+        )
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        length = max(len(self.coeffs), len(other.coeffs))
+        return Polynomial(
+            self.field,
+            [a - b for a, b in zip(self._pad(length), other._pad(length))],
+        )
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial(self.field, [-c for c in self.coeffs])
+
+    def __mul__(self, other) -> "Polynomial":
+        if isinstance(other, (int, FieldElement)):
+            scalar = self.field(other)
+            return Polynomial(self.field, [c * scalar for c in self.coeffs])
+        result = [self.field.zero()] * (len(self.coeffs) + len(other.coeffs) - 1)
+        for i, a in enumerate(self.coeffs):
+            if a.value == 0:
+                continue
+            for j, b in enumerate(other.coeffs):
+                result[i + j] = result[i + j] + a * b
+        return Polynomial(self.field, result)
+
+    __rmul__ = __mul__
+
+    def divmod(self, divisor: "Polynomial") -> Tuple["Polynomial", "Polynomial"]:
+        """Polynomial long division; returns (quotient, remainder)."""
+        if divisor.is_zero():
+            raise ZeroDivisionError("polynomial division by zero")
+        remainder = list(self.coeffs)
+        quotient = [self.field.zero()] * max(1, len(remainder) - len(divisor.coeffs) + 1)
+        divisor_lead_inv = divisor.coeffs[-1].inverse()
+        for shift in range(len(remainder) - len(divisor.coeffs), -1, -1):
+            factor = remainder[shift + len(divisor.coeffs) - 1] * divisor_lead_inv
+            quotient[shift] = factor
+            if factor.value == 0:
+                continue
+            for k, dcoeff in enumerate(divisor.coeffs):
+                remainder[shift + k] = remainder[shift + k] - factor * dcoeff
+        return Polynomial(self.field, quotient), Polynomial(self.field, remainder)
+
+    def __floordiv__(self, divisor: "Polynomial") -> "Polynomial":
+        return self.divmod(divisor)[0]
+
+    def __mod__(self, divisor: "Polynomial") -> "Polynomial":
+        return self.divmod(divisor)[1]
+
+    # -- comparisons -------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self.field == other.field and [c.value for c in self.coeffs] == [
+            c.value for c in other.coeffs
+        ]
+
+    def __hash__(self) -> int:
+        return hash((self.field.modulus, tuple(c.value for c in self.coeffs)))
+
+    def __repr__(self) -> str:
+        return f"Polynomial(degree={self.degree}, coeffs={[c.value for c in self.coeffs]})"
+
+
+def lagrange_coefficients(field: GF, xs: Sequence, at) -> List[FieldElement]:
+    """Lagrange coefficients lambda_i such that f(at) = sum lambda_i * f(xs[i]).
+
+    The paper calls linear maps derived from these "Lagrange's linear
+    functions"; the triple-transformation protocol applies them locally to
+    shares.
+    """
+    points = [field(x) for x in xs]
+    target = field(at)
+    if len(set(p.value for p in points)) != len(points):
+        raise ValueError("interpolation points must be distinct")
+    coefficients = []
+    for i, xi in enumerate(points):
+        numerator = field.one()
+        denominator = field.one()
+        for j, xj in enumerate(points):
+            if i == j:
+                continue
+            numerator = numerator * (target - xj)
+            denominator = denominator * (xi - xj)
+        coefficients.append(numerator / denominator)
+    return coefficients
+
+
+def lagrange_interpolate(field: GF, points: Sequence[Tuple]) -> Polynomial:
+    """The unique polynomial of degree < len(points) through the given points.
+
+    ``points`` is a sequence of (x, y) pairs with distinct x.
+    """
+    xs = [field(x) for x, _ in points]
+    ys = [field(y) for _, y in points]
+    if len(set(x.value for x in xs)) != len(xs):
+        raise ValueError("interpolation points must be distinct")
+    result = Polynomial.zero(field)
+    for i, (xi, yi) in enumerate(zip(xs, ys)):
+        basis = Polynomial.constant(field, 1)
+        denominator = field.one()
+        for j, xj in enumerate(xs):
+            if i == j:
+                continue
+            basis = basis * Polynomial(field, [-xj, field.one()])
+            denominator = denominator * (xi - xj)
+        result = result + basis * (yi / denominator)
+    return result
+
+
+def interpolate_at(field: GF, points: Sequence[Tuple], at) -> FieldElement:
+    """Evaluate the interpolating polynomial through ``points`` at ``at``."""
+    xs = [x for x, _ in points]
+    coeffs = lagrange_coefficients(field, xs, at)
+    total = field.zero()
+    for coeff, (_, y) in zip(coeffs, points):
+        total = total + coeff * field(y)
+    return total

@@ -1,0 +1,6 @@
+"""Consistency graphs and the (n, t)-star finding algorithm of [13]."""
+
+from repro.graph.consistency import ConsistencyGraph
+from repro.graph.star import Star, find_star, maximum_matching, find_clique_of_size
+
+__all__ = ["ConsistencyGraph", "Star", "find_star", "maximum_matching", "find_clique_of_size"]

@@ -1,0 +1,107 @@
+"""The consistency graph built from broadcast OK messages.
+
+Both Pi_WPS and Pi_VSS have every party maintain an undirected graph G_i over
+the party set, with an edge (P_j, P_k) whenever OK(j, k) and OK(k, j) have
+both been received from the respective broadcasts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+
+class ConsistencyGraph:
+    """Undirected graph over party ids 1..n with edge/degree helpers."""
+
+    def __init__(self, n: int):
+        self.n = n
+        self._adjacency: Dict[int, Set[int]] = {i: set() for i in range(1, n + 1)}
+
+    def add_edge(self, a: int, b: int) -> None:
+        if a == b:
+            return
+        self._adjacency[a].add(b)
+        self._adjacency[b].add(a)
+
+    def remove_vertex_edges(self, vertex: int) -> None:
+        """Remove every edge incident to ``vertex`` (the dealer's NOK pruning)."""
+        for neighbor in list(self._adjacency[vertex]):
+            self._adjacency[neighbor].discard(vertex)
+        self._adjacency[vertex].clear()
+
+    def has_edge(self, a: int, b: int) -> bool:
+        return b in self._adjacency[a]
+
+    def neighbors(self, vertex: int) -> Set[int]:
+        return set(self._adjacency[vertex])
+
+    def degree(self, vertex: int) -> int:
+        return len(self._adjacency[vertex])
+
+    def edges(self) -> List[Tuple[int, int]]:
+        return [
+            (a, b)
+            for a in self._adjacency
+            for b in self._adjacency[a]
+            if a < b
+        ]
+
+    def vertices(self) -> List[int]:
+        return list(range(1, self.n + 1))
+
+    def copy(self) -> "ConsistencyGraph":
+        clone = ConsistencyGraph(self.n)
+        for a, neighbors in self._adjacency.items():
+            clone._adjacency[a] = set(neighbors)
+        return clone
+
+    def induced_subgraph(self, vertices: Iterable[int]) -> "ConsistencyGraph":
+        """Subgraph induced by ``vertices`` (other vertices become isolated)."""
+        keep = set(vertices)
+        clone = ConsistencyGraph(self.n)
+        for a in keep:
+            clone._adjacency[a] = self._adjacency[a] & keep
+        return clone
+
+    def degree_within(self, vertex: int, subset: Set[int]) -> int:
+        return len(self._adjacency[vertex] & subset)
+
+    def iterated_degree_prune(self, threshold: int) -> Set[int]:
+        """The paper's W computation.
+
+        Start with the vertices that are consistent with at least
+        ``threshold`` parties and repeatedly remove any vertex consistent
+        with fewer than ``threshold`` parties inside the current set, until
+        stable.  A party always counts as consistent with itself, so the
+        conditions are on (degree + 1); this inclusive convention is what
+        makes the honest parties (of which there may be exactly n - t_s)
+        qualify for W.
+        """
+        current = {v for v in self.vertices() if self.degree(v) + 1 >= threshold}
+        changed = True
+        while changed:
+            changed = False
+            for vertex in list(current):
+                if self.degree_within(vertex, current) + 1 < threshold:
+                    current.discard(vertex)
+                    changed = True
+        return current
+
+    def is_clique(self, vertices: Iterable[int]) -> bool:
+        group = list(vertices)
+        return all(
+            self.has_edge(a, b) for i, a in enumerate(group) for b in group[i + 1 :]
+        )
+
+    def contains_star(self, e_set: Iterable[int], f_set: Iterable[int]) -> bool:
+        """Check that every E-vertex is adjacent to every (other) F-vertex."""
+        e_list = set(e_set)
+        f_list = set(f_set)
+        for a in e_list:
+            for b in f_list:
+                if a != b and not self.has_edge(a, b):
+                    return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"ConsistencyGraph(n={self.n}, edges={len(self.edges())})"

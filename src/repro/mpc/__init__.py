@@ -1,0 +1,6 @@
+"""The best-of-both-worlds MPC protocol ΠCirEval and a high-level engine API."""
+
+from repro.mpc.protocol import CircuitEvaluation, cir_eval_time_bound
+from repro.mpc.engine import MPCResult, run_mpc
+
+__all__ = ["CircuitEvaluation", "cir_eval_time_bound", "MPCResult", "run_mpc"]

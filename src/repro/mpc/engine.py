@@ -1,0 +1,117 @@
+"""High-level engine API: one call to run the full best-of-both-worlds MPC.
+
+This is the entry point the examples use::
+
+    from repro import run_mpc, default_field
+    from repro.circuits import multiplication_circuit
+
+    field = default_field()
+    circuit = multiplication_circuit(field, n_parties=4)
+    result = run_mpc(circuit, inputs={1: 3, 2: 5, 3: 7, 4: 11}, n=4, ts=1, ta=0)
+    print(result.outputs)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.circuits.circuit import Circuit
+from repro.field.gf import GF, FieldElement
+from repro.mpc.protocol import CircuitEvaluation
+from repro.sim.adversary import Behavior
+from repro.sim.network import NetworkModel, SynchronousNetwork
+from repro.sim.runner import ProtocolRunner, RunResult
+
+
+class MPCResult:
+    """Outcome of a full MPC execution."""
+
+    def __init__(self, run: RunResult, circuit: Circuit, field: GF):
+        self.run = run
+        self.circuit = circuit
+        self.field = field
+
+    @property
+    def outputs(self) -> Optional[List[FieldElement]]:
+        """The circuit outputs agreed by the honest parties (None if not all done)."""
+        values = list(self.run.honest_outputs().values())
+        if not values:
+            return None
+        return values[0]
+
+    @property
+    def per_party_outputs(self) -> Dict[int, List[FieldElement]]:
+        return self.run.honest_outputs()
+
+    @property
+    def output_times(self) -> Dict[int, float]:
+        return self.run.honest_output_times()
+
+    @property
+    def completed(self) -> bool:
+        return self.run.all_honest_done()
+
+    @property
+    def agreed(self) -> bool:
+        """Whether every honest party that output agrees on the same values."""
+        values = [tuple(int(v) for v in out) for out in self.run.honest_outputs().values()]
+        return len(set(values)) <= 1
+
+    @property
+    def common_subset(self) -> Optional[List[int]]:
+        for pid in self.run.simulator.honest_party_ids():
+            instance = self.run.instances[pid]
+            if getattr(instance, "common_subset", None) is not None:
+                return instance.common_subset
+        return None
+
+    @property
+    def metrics(self):
+        return self.run.metrics
+
+
+def check_parameters(n: int, ts: int, ta: int) -> None:
+    """Enforce the paper's resilience condition 3·t_s + t_a < n with t_a <= t_s."""
+    if ta > ts:
+        raise ValueError("the interesting setting requires t_a <= t_s")
+    if 3 * ts + ta >= n:
+        raise ValueError(f"resilience condition violated: 3*{ts} + {ta} >= {n}")
+
+
+def run_mpc(
+    circuit: Circuit,
+    inputs: Dict[int, int],
+    n: int,
+    ts: int,
+    ta: int,
+    network: Optional[NetworkModel] = None,
+    field: Optional[GF] = None,
+    seed: int = 0,
+    corrupt: Optional[Dict[int, Behavior]] = None,
+    max_time: Optional[float] = None,
+    max_events: Optional[int] = None,
+) -> MPCResult:
+    """Run ΠCirEval end-to-end on the simulated network and return the result.
+
+    ``inputs`` maps party ids to their private input (parties absent from the
+    map input 0).  ``corrupt`` attaches Byzantine behaviours to party ids.
+    """
+    check_parameters(n, ts, ta)
+    runner = ProtocolRunner(n, network=network or SynchronousNetwork(), field=field, seed=seed,
+                            corrupt=corrupt)
+
+    def factory(party):
+        my_input = inputs.get(party.id, 0)
+        my_inputs = list(my_input) if isinstance(my_input, (list, tuple)) else [my_input]
+        return CircuitEvaluation(
+            party,
+            "mpc",
+            circuit=circuit,
+            ts=ts,
+            ta=ta,
+            my_inputs=my_inputs,
+            anchor=0.0,
+        )
+
+    run = runner.run(factory, max_time=max_time, max_events=max_events)
+    return MPCResult(run, circuit, runner.field)

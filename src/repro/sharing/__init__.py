@@ -1,0 +1,23 @@
+"""Secret sharing: Shamir d-sharings, ΠWPS and ΠVSS."""
+
+from repro.sharing.shamir import (
+    share_secret,
+    share_polynomial,
+    reconstruct_secret,
+    robust_reconstruct,
+    SharedValue,
+)
+from repro.sharing.wps import WeakPolynomialSharing, wps_time_bound
+from repro.sharing.vss import VerifiableSecretSharing, vss_time_bound
+
+__all__ = [
+    "share_secret",
+    "share_polynomial",
+    "reconstruct_secret",
+    "robust_reconstruct",
+    "SharedValue",
+    "WeakPolynomialSharing",
+    "wps_time_bound",
+    "VerifiableSecretSharing",
+    "vss_time_bound",
+]

@@ -1,0 +1,95 @@
+"""Shamir d-sharing utilities (Definition 2.3).
+
+A value s is d-shared when there is a d-degree polynomial f with f(0) = s
+and every honest party P_i holds the share f(alpha_i).  These helpers create
+and reconstruct such sharings directly; the protocols (VSS, preprocessing,
+circuit evaluation) generate them interactively, but unit tests and the
+higher layers' local computations rely on this module.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.codes.reed_solomon import rs_decode
+from repro.field.gf import GF, FieldElement
+from repro.field.polynomial import Polynomial, interpolate_at, lagrange_interpolate
+
+
+class SharedValue:
+    """A complete d-sharing of one value: the map party id -> share.
+
+    This is a *global* (test/bench) view; inside a protocol each party only
+    holds its own entry.
+    """
+
+    def __init__(self, field: GF, degree: int, shares: Dict[int, FieldElement]):
+        self.field = field
+        self.degree = degree
+        self.shares = dict(shares)
+
+    def share_of(self, party_id: int) -> FieldElement:
+        return self.shares[party_id]
+
+    def reconstruct(self) -> FieldElement:
+        points = [(self.field.alpha(i), share) for i, share in self.shares.items()]
+        return interpolate_at(self.field, points[: self.degree + 1], 0)
+
+    def __add__(self, other: "SharedValue") -> "SharedValue":
+        return SharedValue(
+            self.field,
+            max(self.degree, other.degree),
+            {i: self.shares[i] + other.shares[i] for i in self.shares},
+        )
+
+    def __mul__(self, scalar) -> "SharedValue":
+        scalar = self.field(scalar)
+        return SharedValue(
+            self.field, self.degree, {i: share * scalar for i, share in self.shares.items()}
+        )
+
+    __rmul__ = __mul__
+
+
+def share_polynomial(
+    field: GF, polynomial: Polynomial, n: int
+) -> Dict[int, FieldElement]:
+    """Evaluate a sharing polynomial at every party's alpha point."""
+    return {i: polynomial.evaluate(field.alpha(i)) for i in range(1, n + 1)}
+
+
+def share_secret(
+    field: GF,
+    secret,
+    degree: int,
+    n: int,
+    rng: Optional[random.Random] = None,
+) -> SharedValue:
+    """Create a fresh d-sharing of ``secret`` among n parties."""
+    polynomial = Polynomial.random(field, degree, constant_term=secret, rng=rng)
+    return SharedValue(field, degree, share_polynomial(field, polynomial, n))
+
+
+def reconstruct_secret(
+    field: GF, shares: Dict[int, FieldElement], degree: int
+) -> FieldElement:
+    """Interpolate the secret from (at least degree+1) correct shares."""
+    points = [(field.alpha(i), value) for i, value in shares.items()]
+    if len(points) < degree + 1:
+        raise ValueError("not enough shares to reconstruct")
+    return interpolate_at(field, points[: degree + 1], 0)
+
+
+def robust_reconstruct(
+    field: GF,
+    shares: Dict[int, FieldElement],
+    degree: int,
+    max_faults: int,
+) -> Optional[FieldElement]:
+    """Error-correcting reconstruction tolerating up to ``max_faults`` bad shares."""
+    points = [(field.alpha(i), value) for i, value in shares.items()]
+    poly = rs_decode(field, points, degree, max_faults)
+    if poly is None:
+        return None
+    return poly.constant_term()

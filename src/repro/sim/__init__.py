@@ -1,0 +1,50 @@
+"""Discrete-event simulation substrate.
+
+Implements the paper's communication model: n parties connected by pairwise
+private authenticated channels, running either over a synchronous network
+(every message delivered within a publicly-known bound Delta) or an
+asynchronous network (arbitrary but finite, adversary-scheduled delays),
+with a static Byzantine adversary.
+"""
+
+from repro.sim.messages import Message, payload_bits
+from repro.sim.network import (
+    NetworkModel,
+    SynchronousNetwork,
+    AsynchronousNetwork,
+    AdversarialAsynchronousNetwork,
+)
+from repro.sim.party import Party, ProtocolInstance
+from repro.sim.simulator import Simulator, SimulationMetrics
+from repro.sim.adversary import (
+    Behavior,
+    HonestBehavior,
+    CrashBehavior,
+    SilentBehavior,
+    EquivocatingBehavior,
+    WrongValueBehavior,
+    DelayBehavior,
+)
+from repro.sim.runner import ProtocolRunner, RunResult
+
+__all__ = [
+    "Message",
+    "payload_bits",
+    "NetworkModel",
+    "SynchronousNetwork",
+    "AsynchronousNetwork",
+    "AdversarialAsynchronousNetwork",
+    "Party",
+    "ProtocolInstance",
+    "Simulator",
+    "SimulationMetrics",
+    "Behavior",
+    "HonestBehavior",
+    "CrashBehavior",
+    "SilentBehavior",
+    "EquivocatingBehavior",
+    "WrongValueBehavior",
+    "DelayBehavior",
+    "ProtocolRunner",
+    "RunResult",
+]

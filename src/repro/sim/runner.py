@@ -1,0 +1,110 @@
+"""Convenience harness for setting up and running protocol executions."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.field.gf import GF, default_field
+from repro.sim.adversary import Behavior
+from repro.sim.network import NetworkModel, SynchronousNetwork
+from repro.sim.party import Party, ProtocolInstance
+from repro.sim.simulator import Simulator
+
+
+class RunResult:
+    """Outcome of a protocol execution across all parties."""
+
+    def __init__(self, simulator: Simulator, instances: Dict[int, ProtocolInstance]):
+        self.simulator = simulator
+        self.instances = instances
+
+    @property
+    def metrics(self):
+        return self.simulator.metrics
+
+    def output_of(self, party_id: int) -> Any:
+        return self.instances[party_id].output
+
+    def output_time_of(self, party_id: int) -> Optional[float]:
+        return self.instances[party_id].output_time
+
+    def honest_outputs(self) -> Dict[int, Any]:
+        return {
+            pid: self.instances[pid].output
+            for pid in self.simulator.honest_party_ids()
+            if self.instances[pid].has_output
+        }
+
+    def honest_output_times(self) -> Dict[int, float]:
+        return {
+            pid: self.instances[pid].output_time
+            for pid in self.simulator.honest_party_ids()
+            if self.instances[pid].has_output
+        }
+
+    def all_honest_done(self) -> bool:
+        return all(
+            self.instances[pid].has_output for pid in self.simulator.honest_party_ids()
+        )
+
+
+class ProtocolRunner:
+    """Builds a simulator, instantiates a protocol at every party, and runs it.
+
+    ``factory(party)`` must return the root :class:`ProtocolInstance` for that
+    party; corrupt parties get their behaviour attached before instantiation
+    so dealer-style attacks already apply to the first messages.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        network: Optional[NetworkModel] = None,
+        field: Optional[GF] = None,
+        seed: int = 0,
+        corrupt: Optional[Dict[int, Behavior]] = None,
+    ):
+        self.simulator = Simulator(
+            n,
+            network=network or SynchronousNetwork(),
+            field=field or default_field(),
+            seed=seed,
+            corrupt_parties=set(corrupt or {}),
+        )
+        for party_id, behavior in (corrupt or {}).items():
+            self.simulator.set_behavior(party_id, behavior)
+
+    @property
+    def field(self) -> GF:
+        return self.simulator.field
+
+    @property
+    def parties(self) -> Dict[int, Party]:
+        return self.simulator.parties
+
+    def run(
+        self,
+        factory: Callable[[Party], ProtocolInstance],
+        max_time: Optional[float] = None,
+        max_events: Optional[int] = None,
+        wait_for_all_honest: bool = True,
+        extra_predicate: Optional[Callable[[], bool]] = None,
+    ) -> RunResult:
+        """Instantiate, start and run the protocol to completion."""
+        instances: Dict[int, ProtocolInstance] = {}
+        for party_id, party in self.simulator.parties.items():
+            instances[party_id] = factory(party)
+        for instance in instances.values():
+            instance.start()
+
+        def done() -> bool:
+            if extra_predicate is not None and extra_predicate():
+                return True
+            if not wait_for_all_honest:
+                return False
+            return all(
+                instances[pid].has_output for pid in self.simulator.honest_party_ids()
+            )
+
+        self.simulator.run(until=done, max_time=max_time, max_events=max_events)
+        return RunResult(self.simulator, instances)

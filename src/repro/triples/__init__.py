@@ -1,0 +1,22 @@
+"""Triple generation: Beaver multiplication, triple transformation, verifiable
+triple sharing, triple extraction, and the preprocessing-phase protocol."""
+
+from repro.triples.reconstruction import PublicReconstruction
+from repro.triples.beaver import BeaverMultiplication
+from repro.triples.transform import TripleTransformation, transformed_points
+from repro.triples.sharing import TripleSharing, triple_sharing_time_bound
+from repro.triples.extraction import TripleExtraction
+from repro.triples.preprocessing import Preprocessing, preprocessing_time_bound, triples_per_dealer
+
+__all__ = [
+    "PublicReconstruction",
+    "BeaverMultiplication",
+    "TripleTransformation",
+    "transformed_points",
+    "TripleSharing",
+    "triple_sharing_time_bound",
+    "TripleExtraction",
+    "Preprocessing",
+    "preprocessing_time_bound",
+    "triples_per_dealer",
+]

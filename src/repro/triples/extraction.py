@@ -1,0 +1,74 @@
+"""ΠTripExt: triple extraction (Fig 9 / Lemma 6.4).
+
+Given 2d+1 t_s-shared multiplication triples contributed by the parties of a
+common subset CS (d >= t_s), the parties transform them with ΠTripTrans and
+locally output the shares of d+1-t_s *new* points (at the public beta
+points) on the underlying polynomials -- multiplication triples that are
+random from the adversary's point of view, because it knows at most t_s of
+the input triples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.field.gf import FieldElement
+from repro.sim.party import Party, ProtocolInstance
+from repro.triples.transform import TripleTransformation, TripleShares, extend_shares
+
+
+class TripleExtraction(ProtocolInstance):
+    """One ΠTripExt instance.
+
+    ``triples`` are this party's shares of the 2d+1 input triples (ordered
+    by the public ordering of CS).  The output is the list of d+1-t_s
+    extracted triple shares.
+    """
+
+    def __init__(
+        self,
+        party: Party,
+        tag: str,
+        ts: int,
+        d: int,
+        triples: Optional[Sequence[TripleShares]] = None,
+    ):
+        super().__init__(party, tag)
+        self.ts = ts
+        self.d = d
+        self.triples = list(triples) if triples is not None else None
+        self._transformation: Optional[TripleTransformation] = None
+        self._started = False
+
+    def provide_input(self, triples: Sequence[TripleShares]) -> None:
+        self.triples = list(triples)
+        if self._started:
+            self._begin()
+
+    def start(self) -> None:
+        self._started = True
+        if self.triples is not None:
+            self._begin()
+
+    def _begin(self) -> None:
+        if self._transformation is not None or self.triples is None:
+            return
+        self._transformation = self.spawn(
+            TripleTransformation, "trans", ts=self.ts, d=self.d, triples=self.triples
+        )
+        self._transformation.on_output(self._finish)
+        self._transformation.start()
+
+    def _finish(self, transformed: List[TripleShares]) -> None:
+        x_shares = [triple[0] for triple in transformed]
+        y_shares = [triple[1] for triple in transformed]
+        z_shares = [triple[2] for triple in transformed]
+        outputs: List[TripleShares] = []
+        count = self.d + 1 - self.ts
+        for j in range(1, count + 1):
+            beta = self.field.beta(j)
+            a_share = extend_shares(self.field, x_shares, self.d, beta)
+            b_share = extend_shares(self.field, y_shares, self.d, beta)
+            c_share = extend_shares(self.field, z_shares, 2 * self.d, beta)
+            outputs.append((a_share, b_share, c_share))
+        self.set_output(outputs)

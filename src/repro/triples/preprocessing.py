@@ -1,0 +1,169 @@
+"""ΠPreProcessing: the best-of-both-worlds preprocessing phase (Fig 10 / Thm 6.5).
+
+Every party acts as a ΠTripSh dealer so that L multiplication triples are
+shared on its behalf; a bank of n ΠBA instances fixes a common subset CS of
+exactly n - t_s triple providers; and L instances of ΠTripExt squeeze out
+c_M random t_s-shared multiplication triples that no party (and hence no
+adversary) knows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.ba.aba import aba_nominal_time_bound
+from repro.ba.bobw import BestOfBothWorldsBA
+from repro.broadcast.bc import bc_time_bound
+from repro.sim.party import Party, ProtocolInstance
+from repro.timing import epsilon
+from repro.triples.extraction import TripleExtraction
+from repro.triples.sharing import TripleSharing, triple_sharing_time_bound
+from repro.triples.transform import TripleShares
+
+
+def extraction_yield(n: int, ts: int) -> int:
+    """Triples extracted per ΠTripExt instance: (n - t_s - 1)/2 + 1 - t_s."""
+    d = (n - ts - 1) // 2
+    return d + 1 - ts
+
+
+def triples_per_dealer(n: int, ts: int, c_m: int) -> int:
+    """L: how many triples each dealer shares so that c_M can be extracted."""
+    return max(1, math.ceil(c_m / extraction_yield(n, ts)))
+
+
+def preprocessing_time_bound(n: int, ts: int, delta: float) -> float:
+    """T_TripGen = T_TripSh + 2·T_BA + Δ (nominal)."""
+    t_ba = bc_time_bound(n, ts, delta) + aba_nominal_time_bound(delta)
+    return triple_sharing_time_bound(n, ts, delta) + 2.0 * t_ba + delta + 8 * epsilon(delta)
+
+
+class Preprocessing(ProtocolInstance):
+    """One ΠPreProcessing instance generating at least ``num_triples`` triples.
+
+    The output is the list of this party's shares of the generated
+    multiplication triples (at least ``num_triples`` of them, possibly a few
+    more because the extraction yield is a whole number per instance).
+    """
+
+    def __init__(
+        self,
+        party: Party,
+        tag: str,
+        ts: int,
+        ta: int,
+        num_triples: int = 1,
+        anchor: Optional[float] = None,
+        delta: Optional[float] = None,
+    ):
+        super().__init__(party, tag)
+        self.ts = ts
+        self.ta = ta
+        self.num_triples = num_triples
+        self.anchor = anchor
+        self.delta = delta if delta is not None else party.simulator.delta
+        self.per_dealer = triples_per_dealer(self.n, ts, num_triples)
+
+        self._tripsh: Dict[int, TripleSharing] = {}
+        self._tripsh_outputs: Dict[int, List[TripleShares]] = {}
+        self._ba: Dict[int, BestOfBothWorldsBA] = {}
+        self._ba_inputs_given: set = set()
+        self._ba_outputs: Dict[int, int] = {}
+        self._after_wait = False
+        self.common_subset: Optional[List[int]] = None
+        self._extractions: Dict[int, TripleExtraction] = {}
+        self._extraction_outputs: Dict[int, List[TripleShares]] = {}
+
+    # -- lifecycle -----------------------------------------------------------------
+    def start(self) -> None:
+        if self.anchor is None:
+            self.anchor = self.now
+        eps = epsilon(self.delta)
+        t_tripsh = triple_sharing_time_bound(self.n, self.ts, self.delta)
+        for j in self.party.all_party_ids():
+            tripsh = self.spawn(
+                TripleSharing,
+                f"tripsh[{j}]",
+                dealer=j,
+                ts=self.ts,
+                ta=self.ta,
+                num_triples=self.per_dealer,
+                anchor=self.anchor,
+                delta=self.delta,
+            )
+            self._tripsh[j] = tripsh
+            tripsh.on_output(lambda out, j=j: self._tripsh_completed(j, out))
+        for j in self.party.all_party_ids():
+            ba = self.spawn(
+                BestOfBothWorldsBA,
+                f"ba[{j}]",
+                faults=self.ts,
+                anchor=self.anchor + t_tripsh + eps,
+                delta=self.delta,
+            )
+            self._ba[j] = ba
+            ba.on_output(lambda value, j=j: self._ba_completed(j, value))
+        for tripsh in self._tripsh.values():
+            tripsh.start()
+        for ba in self._ba.values():
+            ba.start()
+        self.schedule_at(self.anchor + t_tripsh + eps, self._after_tripsh_wait)
+
+    # -- phase II: agree on the triple providers ----------------------------------------
+    def _tripsh_completed(self, dealer: int, output: List[TripleShares]) -> None:
+        self._tripsh_outputs[dealer] = output
+        if self._after_wait:
+            self._vote(dealer, 1)
+        self._maybe_extract()
+
+    def _after_tripsh_wait(self) -> None:
+        self._after_wait = True
+        for dealer in list(self._tripsh_outputs):
+            self._vote(dealer, 1)
+
+    def _vote(self, dealer: int, value: int) -> None:
+        if dealer in self._ba_inputs_given:
+            return
+        self._ba_inputs_given.add(dealer)
+        self._ba[dealer].provide_input(value)
+
+    def _ba_completed(self, dealer: int, value: int) -> None:
+        self._ba_outputs[dealer] = value
+        positives = sum(1 for v in self._ba_outputs.values() if v == 1)
+        if positives >= self.n - self.ts:
+            for j in self.party.all_party_ids():
+                if j not in self._ba_inputs_given:
+                    self._vote(j, 0)
+        self._maybe_extract()
+
+    # -- phase III: extraction -------------------------------------------------------------
+    def _maybe_extract(self) -> None:
+        if self._extractions or self.has_output:
+            return
+        if len(self._ba_outputs) < self.n:
+            return
+        if self.common_subset is None:
+            accepted = sorted(j for j, v in self._ba_outputs.items() if v == 1)
+            self.common_subset = accepted[: self.n - self.ts]
+        if not all(j in self._tripsh_outputs for j in self.common_subset):
+            return
+        d = (len(self.common_subset) - 1) // 2
+        for index in range(self.per_dealer):
+            triples = [
+                self._tripsh_outputs[j][index] for j in self.common_subset[: 2 * d + 1]
+            ]
+            extraction = self.spawn(
+                TripleExtraction, f"ext[{index}]", ts=self.ts, d=d, triples=triples
+            )
+            self._extractions[index] = extraction
+            extraction.on_output(lambda out, index=index: self._extraction_completed(index, out))
+            extraction.start()
+
+    def _extraction_completed(self, index: int, output: List[TripleShares]) -> None:
+        self._extraction_outputs[index] = output
+        if len(self._extraction_outputs) == len(self._extractions) and not self.has_output:
+            triples: List[TripleShares] = []
+            for position in sorted(self._extraction_outputs):
+                triples.extend(self._extraction_outputs[position])
+            self.set_output(triples)

@@ -1,0 +1,86 @@
+"""Public reconstruction of t_s-shared values via Online Error Correction.
+
+Several protocols (ΠBeaver, the suspected-triple checks of ΠTripSh, and the
+output phase of ΠCirEval) publicly reconstruct shared values by having every
+party send its shares to everyone and applying OEC(t_s, t_s, P) on the
+received shares.  This instance batches any number of values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.codes.oec import OnlineErrorCorrector
+from repro.field.gf import FieldElement
+from repro.sim.party import Party, ProtocolInstance
+
+
+class PublicReconstruction(ProtocolInstance):
+    """Publicly reconstruct a batch of d-shared values.
+
+    ``shares`` is this party's share of each value (in order); the output is
+    the list of reconstructed values.  Reconstruction tolerates up to
+    ``faults`` incorrect shares per value via OEC.
+    """
+
+    def __init__(
+        self,
+        party: Party,
+        tag: str,
+        degree: int,
+        faults: int,
+        shares: Optional[Sequence[FieldElement]] = None,
+    ):
+        super().__init__(party, tag)
+        self.degree = degree
+        self.faults = faults
+        self.shares = list(shares) if shares is not None else None
+        self._correctors: Optional[List[OnlineErrorCorrector]] = None
+        self._buffer: Dict[int, Sequence] = {}
+
+    def provide_input(self, shares: Sequence[FieldElement]) -> None:
+        self.shares = list(shares)
+        if self._correctors is None and self.has_started:
+            self._begin()
+
+    has_started = False
+
+    def start(self) -> None:
+        self.has_started = True
+        if self.shares is not None:
+            self._begin()
+
+    def _begin(self) -> None:
+        if self._correctors is not None or self.shares is None:
+            return
+        self._correctors = [
+            OnlineErrorCorrector(self.field, self.degree, self.faults) for _ in self.shares
+        ]
+        self.send_all(("shares", list(self.shares)))
+        for sender, values in list(self._buffer.items()):
+            self._absorb(sender, values)
+        self._buffer.clear()
+
+    def receive(self, sender: int, payload: Any) -> None:
+        if payload[0] != "shares":
+            return
+        values = payload[1]
+        if self._correctors is None:
+            if sender not in self._buffer:
+                self._buffer[sender] = values
+            return
+        self._absorb(sender, values)
+
+    def _absorb(self, sender: int, values: Sequence) -> None:
+        if self._correctors is None or len(values) != len(self._correctors):
+            return
+        alpha = self.field.alpha(sender)
+        done = True
+        for corrector, value in zip(self._correctors, values):
+            if not isinstance(value, FieldElement):
+                done = done and corrector.done
+                continue
+            corrector.add_point(alpha, value)
+            done = done and corrector.done
+        if done and not self.has_output:
+            self.set_output([corrector.secret() for corrector in self._correctors])

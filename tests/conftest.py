@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+import os
+import random
+import sys
+
+import pytest
+
+from repro.field import GF, default_field
+
+# Allow plain `import protocol_helpers` from the test modules regardless of
+# how pytest was invoked.
+_TESTS_DIR = os.path.dirname(__file__)
+if _TESTS_DIR not in sys.path:
+    sys.path.insert(0, _TESTS_DIR)
+
+
+@pytest.fixture(scope="session")
+def field() -> GF:
+    """The default 61-bit prime field used across the suite."""
+    return default_field()
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    """A deterministic RNG so failures are reproducible."""
+    return random.Random(0xDECADE)
+
+
+@pytest.fixture(scope="session")
+def small_field() -> GF:
+    """A small prime field (p = 257) for exhaustive-ish checks."""
+    return GF(257)

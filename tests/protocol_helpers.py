@@ -1,0 +1,89 @@
+"""Shared helpers for the protocol-level test modules (WPS, VSS, ACS, MPC)."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.field import Polynomial, default_field
+from repro.sim import ProtocolRunner, SynchronousNetwork
+from repro.sim.adversary import Behavior
+from repro.sim.network import NetworkModel
+
+FIELD = default_field()
+
+
+def random_polynomial(degree: int, secret: int, seed: int = 0) -> Polynomial:
+    return Polynomial.random(FIELD, degree, constant_term=secret, rng=random.Random(seed))
+
+
+def run_dealer_protocol(
+    protocol_cls,
+    n: int,
+    ts: int,
+    ta: int,
+    dealer: int,
+    polynomials: Optional[List[Polynomial]],
+    network: Optional[NetworkModel] = None,
+    corrupt: Optional[Dict[int, Behavior]] = None,
+    seed: int = 0,
+    max_time: Optional[float] = 50_000.0,
+    num_polynomials: Optional[int] = None,
+):
+    """Run a dealer-based sharing protocol (ΠWPS or ΠVSS) at every party."""
+    runner = ProtocolRunner(n, network=network or SynchronousNetwork(), seed=seed,
+                            corrupt=corrupt or {})
+    count = num_polynomials if num_polynomials is not None else (
+        len(polynomials) if polynomials else 1
+    )
+
+    def factory(party):
+        return protocol_cls(
+            party,
+            "prot",
+            dealer=dealer,
+            ts=ts,
+            ta=ta,
+            num_polynomials=count,
+            polynomials=polynomials if party.id == dealer else None,
+            anchor=0.0,
+        )
+
+    return runner.run(factory, max_time=max_time)
+
+
+def shares_match_polynomials(result, polynomials: List[Polynomial]) -> bool:
+    """Check every honest output against the dealer's polynomials."""
+    for pid, shares in result.honest_outputs().items():
+        if shares is None or len(shares) != len(polynomials):
+            return False
+        for poly, share in zip(polynomials, shares):
+            if share != poly.evaluate(FIELD.alpha(pid)):
+                return False
+    return True
+
+
+def honest_outputs_consistent(result, ts: int) -> bool:
+    """For a corrupt dealer: honest outputs must lie on common degree-ts polynomials."""
+    from repro.field.polynomial import lagrange_interpolate
+
+    outputs = result.honest_outputs()
+    outputs = {pid: shares for pid, shares in outputs.items() if shares is not None}
+    if not outputs:
+        return True
+    lengths = {len(shares) for shares in outputs.values()}
+    if len(lengths) != 1:
+        return False
+    count = lengths.pop()
+    pids = sorted(outputs)
+    if len(pids) < ts + 1:
+        return True
+    for index in range(count):
+        points = [(FIELD.alpha(pid), outputs[pid][index]) for pid in pids[: ts + 1]]
+        poly = lagrange_interpolate(FIELD, points)
+        if poly.degree > ts:
+            return False
+        for pid in pids:
+            if outputs[pid][index] != poly.evaluate(FIELD.alpha(pid)):
+                return False
+    return True

@@ -1,0 +1,122 @@
+"""Tests for symmetric bivariate polynomials (the VSS embedding, Lemmas 2.1/2.2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.field.bivariate import SymmetricBivariatePolynomial
+from repro.field.gf import default_field
+from repro.field.polynomial import Polynomial
+
+F = default_field()
+
+
+def _random_embedding(degree=2, secret=77, seed=1):
+    rng = random.Random(seed)
+    q = Polynomial.random(F, degree, constant_term=secret, rng=rng)
+    return q, SymmetricBivariatePolynomial.random_embedding(F, q, rng=rng)
+
+
+def test_embedding_preserves_univariate():
+    q, Q = _random_embedding()
+    assert Q.zero_row() == q
+    assert Q.secret() == F(77)
+    for i in range(1, 6):
+        assert Q.evaluate(0, i) == q.evaluate(i)
+
+
+def test_symmetry():
+    _, Q = _random_embedding(degree=3, seed=2)
+    assert Q.is_symmetric()
+    for i in range(1, 5):
+        for j in range(1, 5):
+            assert Q.evaluate(i, j) == Q.evaluate(j, i)
+
+
+def test_rows_are_pairwise_consistent():
+    _, Q = _random_embedding(degree=2, seed=3)
+    rows = {i: Q.row(F.alpha(i)) for i in range(1, 6)}
+    for i in rows:
+        for j in rows:
+            assert rows[i].evaluate(F.alpha(j)) == rows[j].evaluate(F.alpha(i))
+
+
+def test_row_degree_matches():
+    _, Q = _random_embedding(degree=4, seed=4)
+    assert Q.row(F.alpha(1)).degree <= 4
+
+
+def test_constructor_rejects_asymmetric():
+    with pytest.raises(ValueError):
+        SymmetricBivariatePolynomial(F, [[F(1), F(2)], [F(3), F(4)]])
+
+
+def test_constructor_rejects_non_square():
+    with pytest.raises(ValueError):
+        SymmetricBivariatePolynomial(F, [[F(1), F(2)], [F(2)]])
+
+
+def test_reconstruction_from_rows():
+    _, Q = _random_embedding(degree=2, seed=5)
+    rows = [(F.alpha(i), Q.row(F.alpha(i))) for i in range(1, 4)]
+    rebuilt = SymmetricBivariatePolynomial.from_univariate_rows(F, rows)
+    assert rebuilt == Q
+
+
+def test_reconstruction_requires_enough_rows():
+    _, Q = _random_embedding(degree=3, seed=6)
+    rows = [(F.alpha(i), Q.row(F.alpha(i))) for i in range(1, 3)]
+    with pytest.raises(ValueError):
+        SymmetricBivariatePolynomial.from_univariate_rows(F, rows)
+    with pytest.raises(ValueError):
+        SymmetricBivariatePolynomial.from_univariate_rows(F, [])
+
+
+def test_reconstruction_detects_inconsistent_rows():
+    _, Q = _random_embedding(degree=2, seed=7)
+    rows = [(F.alpha(i), Q.row(F.alpha(i))) for i in range(1, 4)]
+    # Corrupt one row so it no longer lies on any symmetric bivariate polynomial.
+    bad = Polynomial(F, [c + 1 for c in rows[1][1].coeffs])
+    rows[1] = (rows[1][0], bad)
+    with pytest.raises(ValueError):
+        SymmetricBivariatePolynomial.from_univariate_rows(F, rows)
+
+
+def test_random_constructor():
+    Q = SymmetricBivariatePolynomial.random(F, 2, rng=random.Random(8))
+    assert Q.degree == 2
+    assert Q.is_symmetric()
+
+
+def test_privacy_lemma_2_2():
+    """t rows leak nothing about the secret: for any candidate secret there is
+    a consistent bivariate polynomial agreeing with the adversary's view on
+    the shares it saw."""
+    rng = random.Random(9)
+    t = 2
+    q1 = Polynomial.random(F, t, constant_term=10, rng=rng)
+    Q1 = SymmetricBivariatePolynomial.random_embedding(F, q1, rng=rng)
+    corrupt = [1, 2]  # |C| = t
+    adversary_rows = {i: Q1.row(F.alpha(i)) for i in corrupt}
+    # Construct a different secret whose sharing is consistent with the same
+    # adversary view: interpolate a new q2 through the corrupt parties' shares
+    # of the secret row and a different constant term.
+    points = [(F.alpha(i), adversary_rows[i].evaluate(0)) for i in corrupt]
+    points.append((F(0), F(999)))
+    from repro.field.polynomial import lagrange_interpolate
+
+    q2 = lagrange_interpolate(F, points)
+    assert q2.degree <= t
+    assert q2.constant_term() == F(999)
+    for i in corrupt:
+        assert q2.evaluate(F.alpha(i)) == adversary_rows[i].evaluate(0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(degree=st.integers(1, 4), seed=st.integers(0, 2 ** 31), x=st.integers(0, 50), y=st.integers(0, 50))
+def test_property_row_evaluation_consistency(degree, seed, x, y):
+    rng = random.Random(seed)
+    Q = SymmetricBivariatePolynomial.random(F, degree, rng=rng)
+    assert Q.row(y).evaluate(x) == Q.evaluate(x, y)
+    assert Q.evaluate(x, y) == Q.evaluate(y, x)

@@ -1,0 +1,141 @@
+"""Tests for Reed-Solomon decoding and Online Error Correction (Appendix A)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codes.oec import OnlineErrorCorrector, OECStatus
+from repro.codes.reed_solomon import rs_decode, rs_interpolate_with_errors
+from repro.field.gf import default_field
+from repro.field.polynomial import Polynomial
+
+F = default_field()
+
+
+def _points(poly, indices):
+    return [(F.alpha(i), poly.evaluate(F.alpha(i))) for i in indices]
+
+
+def test_decode_without_errors():
+    poly = Polynomial.random(F, 2, rng=random.Random(1))
+    points = _points(poly, range(1, 6))
+    assert rs_interpolate_with_errors(F, points, 2, 1) == poly
+    assert rs_decode(F, points, 2, 1) == poly
+
+
+def test_decode_with_one_error():
+    poly = Polynomial.random(F, 2, rng=random.Random(2))
+    points = _points(poly, range(1, 6))
+    x, y = points[0]
+    points[0] = (x, y + 1)
+    assert rs_decode(F, points, 2, 1) == poly
+
+
+def test_decode_with_max_errors():
+    poly = Polynomial.random(F, 1, rng=random.Random(3))
+    # n = 7, degree 1, t = 2 errors: 1 + 2*2 + 1 = 6 <= 7 points.
+    points = _points(poly, range(1, 8))
+    points[0] = (points[0][0], points[0][1] + 5)
+    points[1] = (points[1][0], points[1][1] + 9)
+    assert rs_decode(F, points, 1, 2) == poly
+
+
+def test_decode_fails_with_too_many_errors():
+    poly = Polynomial.random(F, 1, rng=random.Random(4))
+    points = _points(poly, range(1, 5))
+    # 3 corrupted out of 4 with t=1 cannot be decoded to the original.
+    points[0] = (points[0][0], points[0][1] + 1)
+    points[1] = (points[1][0], points[1][1] + 2)
+    points[2] = (points[2][0], points[2][1] + 3)
+    decoded = rs_decode(F, points, 1, 1)
+    assert decoded != poly
+
+
+def test_decode_insufficient_points_returns_none():
+    poly = Polynomial.random(F, 3, rng=random.Random(5))
+    points = _points(poly, range(1, 3))
+    assert rs_interpolate_with_errors(F, points, 3, 1) is None
+
+
+def test_decode_requires_agreement_threshold():
+    # rs_decode additionally requires degree + max_errors + 1 agreeing points.
+    poly = Polynomial.random(F, 2, rng=random.Random(6))
+    points = _points(poly, range(1, 5))
+    points[0] = (points[0][0], points[0][1] + 1)
+    points[1] = (points[1][0], points[1][1] + 2)
+    # Only 2 agreeing points remain < 2 + 1 + 1.
+    assert rs_decode(F, points, 2, 1) is None
+
+
+def test_oec_completes_with_honest_points():
+    poly = Polynomial.random(F, 1, rng=random.Random(7))
+    oec = OnlineErrorCorrector(F, degree=1, max_faults=1)
+    assert oec.status is OECStatus.WAITING
+    assert oec.add_point(F.alpha(1), poly.evaluate(F.alpha(1))) is None
+    assert oec.add_point(F.alpha(2), poly.evaluate(F.alpha(2))) is None
+    result = oec.add_point(F.alpha(3), poly.evaluate(F.alpha(3)))
+    assert result == poly
+    assert oec.done
+    assert oec.secret() == poly.constant_term()
+    assert oec.value_at(F.alpha(9)) == poly.evaluate(F.alpha(9))
+
+
+def test_oec_tolerates_corrupt_point():
+    poly = Polynomial.random(F, 1, rng=random.Random(8))
+    oec = OnlineErrorCorrector(F, degree=1, max_faults=1)
+    oec.add_point(F.alpha(1), poly.evaluate(F.alpha(1)) + 5)  # corrupt
+    for i in range(2, 5):
+        oec.add_point(F.alpha(i), poly.evaluate(F.alpha(i)))
+    assert oec.done
+    assert oec.polynomial == poly
+
+
+def test_oec_ignores_duplicate_x():
+    poly = Polynomial.random(F, 1, rng=random.Random(9))
+    oec = OnlineErrorCorrector(F, degree=1, max_faults=1)
+    oec.add_point(F.alpha(1), poly.evaluate(F.alpha(1)))
+    oec.add_point(F.alpha(1), poly.evaluate(F.alpha(1)) + 3)  # later conflicting report ignored
+    oec.add_point(F.alpha(2), poly.evaluate(F.alpha(2)))
+    oec.add_point(F.alpha(3), poly.evaluate(F.alpha(3)))
+    assert oec.done and oec.polynomial == poly
+
+
+def test_oec_waits_until_threshold():
+    oec = OnlineErrorCorrector(F, degree=2, max_faults=1)
+    assert oec.try_decode() is None
+    assert oec.secret() is None
+    assert oec.value_at(1) is None
+
+
+def test_oec_after_done_is_stable():
+    poly = Polynomial.random(F, 1, rng=random.Random(10))
+    oec = OnlineErrorCorrector(F, degree=1, max_faults=0)
+    oec.add_point(F.alpha(1), poly.evaluate(F.alpha(1)))
+    oec.add_point(F.alpha(2), poly.evaluate(F.alpha(2)))
+    assert oec.done
+    # Adding junk afterwards does not change the decoded polynomial.
+    oec.add_point(F.alpha(3), F(12345))
+    assert oec.polynomial == poly
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    degree=st.integers(0, 3),
+    faults=st.integers(0, 2),
+    seed=st.integers(0, 2 ** 31),
+)
+def test_property_oec_recovers_with_d_plus_2t_plus_1_points(degree, faults, seed):
+    """OEC succeeds once d + 2t + 1 points (t of them corrupt) are available."""
+    rng = random.Random(seed)
+    poly = Polynomial.random(F, degree, rng=rng)
+    oec = OnlineErrorCorrector(F, degree=degree, max_faults=faults)
+    index = 1
+    for _ in range(faults):  # corrupt points first (worst case)
+        oec.add_point(F.alpha(index), poly.evaluate(F.alpha(index)) + 7)
+        index += 1
+    for _ in range(degree + faults + 1):
+        oec.add_point(F.alpha(index), poly.evaluate(F.alpha(index)))
+        index += 1
+    assert oec.done
+    assert oec.polynomial == poly

@@ -1,0 +1,142 @@
+"""Unit and property-based tests for GF(p) arithmetic."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.field.gf import GF, FieldElement, DEFAULT_PRIME, default_field
+
+
+def test_default_prime_is_mersenne_61():
+    assert DEFAULT_PRIME == 2 ** 61 - 1
+
+
+def test_default_field_is_cached():
+    assert default_field() is default_field()
+
+
+def test_non_prime_modulus_rejected():
+    with pytest.raises(ValueError):
+        GF(100)
+
+
+def test_prime_check_can_be_skipped():
+    assert GF(100, check_prime=False).modulus == 100
+
+
+def test_basic_arithmetic(field):
+    a = field(10)
+    b = field(3)
+    assert int(a + b) == 13
+    assert int(a - b) == 7
+    assert int(a * b) == 30
+    assert int(a / b * b) == 10
+    assert int(-a) == field.modulus - 10
+
+
+def test_integer_coercion(field):
+    a = field(5)
+    assert a + 2 == field(7)
+    assert 2 + a == field(7)
+    assert 2 * a == field(10)
+    assert a - 7 == field(-2)
+    assert 7 - a == field(2)
+    assert int(10 / field(5)) == 2
+
+
+def test_negative_and_overflow_values_reduced(field):
+    assert int(field(-1)) == field.modulus - 1
+    assert int(field(field.modulus + 5)) == 5
+
+
+def test_inverse_and_division(field):
+    a = field(123456789)
+    assert int(a * a.inverse()) == 1
+    with pytest.raises(ZeroDivisionError):
+        field.zero().inverse()
+
+
+def test_pow(field):
+    a = field(7)
+    assert a ** 0 == field.one()
+    assert a ** 3 == field(343)
+    assert a ** -1 == a.inverse()
+
+
+def test_equality_and_hash(field):
+    assert field(4) == field(4)
+    assert field(4) == 4
+    assert field(4) != field(5)
+    assert hash(field(4)) == hash(field(4))
+    assert len({field(4), field(4), field(5)}) == 2
+
+
+def test_bool_and_repr(field):
+    assert not field(0)
+    assert field(1)
+    assert "FieldElement" in repr(field(1))
+
+
+def test_cannot_mix_fields(field, small_field):
+    with pytest.raises(ValueError):
+        field(1) + small_field(1)
+
+
+def test_field_equality_and_hash(field, small_field):
+    assert field == default_field()
+    assert field != small_field
+    assert hash(field) == hash(default_field())
+
+
+def test_alpha_beta_points_distinct(field):
+    alphas = [int(field.alpha(i)) for i in range(1, 33)]
+    betas = [int(field.beta(j)) for j in range(1, 33)]
+    assert len(set(alphas)) == 32
+    assert len(set(betas)) == 32
+    assert not set(alphas) & set(betas)
+    assert 0 not in alphas and 0 not in betas
+
+
+def test_alpha_beta_reject_non_positive(field):
+    with pytest.raises(ValueError):
+        field.alpha(0)
+    with pytest.raises(ValueError):
+        field.beta(0)
+
+
+def test_random_respects_rng(field):
+    a = field.random(random.Random(1))
+    b = field.random(random.Random(1))
+    assert a == b
+    assert len(field.random_list(5, random.Random(2))) == 5
+
+
+def test_elements_and_bits(field):
+    assert field.elements([1, 2, 3]) == [field(1), field(2), field(3)]
+    assert field.element_bits() == 61
+
+
+def test_call_rejects_foreign_element(field, small_field):
+    with pytest.raises(ValueError):
+        field(small_field(3))
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=st.integers(0, DEFAULT_PRIME - 1), b=st.integers(0, DEFAULT_PRIME - 1),
+       c=st.integers(0, DEFAULT_PRIME - 1))
+def test_ring_axioms(a, b, c):
+    field = default_field()
+    fa, fb, fc = field(a), field(b), field(c)
+    assert fa + fb == fb + fa
+    assert fa * fb == fb * fa
+    assert (fa + fb) + fc == fa + (fb + fc)
+    assert (fa * fb) * fc == fa * (fb * fc)
+    assert fa * (fb + fc) == fa * fb + fa * fc
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=st.integers(1, DEFAULT_PRIME - 1))
+def test_inverse_property(a):
+    field = default_field()
+    assert field(a) * field(a).inverse() == field.one()

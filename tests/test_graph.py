@@ -1,0 +1,169 @@
+"""Tests for the consistency graph and the (n, t)-star algorithm."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.consistency import ConsistencyGraph
+from repro.graph.star import (
+    Star,
+    find_clique_of_size,
+    find_star,
+    maximum_matching,
+    verify_star,
+)
+
+
+def _clique_graph(n, members):
+    graph = ConsistencyGraph(n)
+    for a in members:
+        for b in members:
+            if a < b:
+                graph.add_edge(a, b)
+    return graph
+
+
+def test_add_edge_and_degree():
+    graph = ConsistencyGraph(4)
+    graph.add_edge(1, 2)
+    graph.add_edge(1, 2)  # idempotent
+    graph.add_edge(1, 1)  # self loops ignored
+    assert graph.has_edge(1, 2) and graph.has_edge(2, 1)
+    assert graph.degree(1) == 1
+    assert graph.neighbors(1) == {2}
+    assert graph.edges() == [(1, 2)]
+    assert graph.vertices() == [1, 2, 3, 4]
+
+
+def test_remove_vertex_edges():
+    graph = _clique_graph(4, [1, 2, 3, 4])
+    graph.remove_vertex_edges(2)
+    assert graph.degree(2) == 0
+    assert not graph.has_edge(1, 2)
+    assert graph.has_edge(1, 3)
+
+
+def test_copy_and_induced_subgraph():
+    graph = _clique_graph(5, [1, 2, 3])
+    clone = graph.copy()
+    clone.add_edge(4, 5)
+    assert not graph.has_edge(4, 5)
+    induced = graph.induced_subgraph({1, 2})
+    assert induced.has_edge(1, 2)
+    assert not induced.has_edge(1, 3)
+
+
+def test_iterated_degree_prune_keeps_clique():
+    # n = 4, threshold n - ts = 3; the 3-clique must survive (inclusive count).
+    graph = _clique_graph(4, [1, 2, 4])
+    pruned = graph.iterated_degree_prune(3)
+    assert pruned == {1, 2, 4}
+
+
+def test_iterated_degree_prune_removes_weak_vertices():
+    graph = _clique_graph(6, [1, 2, 3, 4])
+    graph.add_edge(5, 1)  # vertex 5 hangs off the clique
+    pruned = graph.iterated_degree_prune(4)
+    assert pruned == {1, 2, 3, 4}
+
+
+def test_is_clique_and_contains_star():
+    graph = _clique_graph(5, [1, 2, 3])
+    assert graph.is_clique([1, 2, 3])
+    assert not graph.is_clique([1, 2, 4])
+    assert graph.contains_star([1, 2], [1, 2, 3])
+    assert not graph.contains_star([1, 4], [1, 2, 3])
+
+
+def test_degree_within():
+    graph = _clique_graph(5, [1, 2, 3, 4])
+    assert graph.degree_within(1, {2, 3}) == 2
+    assert graph.degree_within(5, {1, 2}) == 0
+
+
+def test_maximum_matching_simple():
+    # Path 1-2-3: maximum matching has one edge.
+    matching = maximum_matching([1, 2, 3], {(1, 2), (2, 3)})
+    assert len(matching) == 1
+    # Two disjoint edges.
+    matching = maximum_matching([1, 2, 3, 4], {(1, 2), (3, 4)})
+    assert len(matching) == 2
+    assert maximum_matching([1, 2], set()) == []
+
+
+def test_find_clique_of_size():
+    graph = _clique_graph(6, [2, 3, 5, 6])
+    assert find_clique_of_size(graph, 4) == {2, 3, 5, 6}
+    assert find_clique_of_size(graph, 5) is None
+    assert find_clique_of_size(graph, 0) == set()
+
+
+def test_find_star_full_graph():
+    n, t = 7, 2
+    graph = _clique_graph(n, range(1, n + 1))
+    star = find_star(graph, t)
+    assert star is not None
+    assert verify_star(graph, star, t)
+    assert len(star.e_set) >= n - 2 * t
+    assert len(star.f_set) >= n - t
+
+
+def test_find_star_with_honest_clique_only():
+    # Exactly n - t honest parties forming a clique; the corrupt ones silent.
+    n, t = 7, 2
+    graph = _clique_graph(n, [1, 2, 3, 4, 5])
+    star = find_star(graph, t)
+    assert star is not None
+    assert verify_star(graph, star, t)
+    assert star.e_set <= {1, 2, 3, 4, 5}
+
+
+def test_find_star_returns_none_without_clique():
+    n, t = 4, 1
+    graph = ConsistencyGraph(n)
+    graph.add_edge(1, 2)
+    assert find_star(graph, t) is None
+
+
+def test_find_star_within_subset():
+    n, t = 7, 2
+    graph = _clique_graph(n, [1, 2, 3, 4, 5])
+    graph.add_edge(6, 1)
+    star = find_star(graph, t, within={1, 2, 3, 4, 5})
+    assert star is not None
+    assert star.f_set <= {1, 2, 3, 4, 5}
+    assert verify_star(graph, star, t, within={1, 2, 3, 4, 5})
+
+
+def test_verify_star_rejects_bad_shapes():
+    n, t = 4, 1
+    graph = _clique_graph(n, [1, 2, 3])
+    assert not verify_star(graph, Star(frozenset({1, 4}), frozenset({1, 2, 3, 4})), t)
+    assert not verify_star(graph, Star(frozenset({1}), frozenset({1, 2})), t)  # F too small
+    assert not verify_star(graph, Star(frozenset({1, 2}), frozenset({2})), t)  # E not subset of F
+    assert not verify_star(
+        graph, Star(frozenset({1, 2}), frozenset({1, 2, 3})), t, within={1, 2}
+    )  # F outside the allowed subset
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(4, 8), seed=st.integers(0, 2 ** 31))
+def test_property_star_exists_when_honest_clique_exists(n, seed):
+    """AlgStar's contract: a clique of size n - t guarantees an (n, t)-star."""
+    t = (n - 1) // 3
+    rng = random.Random(seed)
+    honest = rng.sample(range(1, n + 1), n - t)
+    graph = ConsistencyGraph(n)
+    for a, b in itertools.combinations(honest, 2):
+        graph.add_edge(a, b)
+    # Random extra edges involving the "corrupt" vertices.
+    others = [v for v in range(1, n + 1) if v not in honest]
+    for v in others:
+        for u in range(1, n + 1):
+            if u != v and rng.random() < 0.5:
+                graph.add_edge(u, v)
+    star = find_star(graph, t)
+    assert star is not None
+    assert verify_star(graph, star, t)

@@ -1,0 +1,95 @@
+"""Tests for Shamir d-sharing helpers (Definition 2.3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.field.gf import default_field
+from repro.sharing.shamir import (
+    SharedValue,
+    reconstruct_secret,
+    robust_reconstruct,
+    share_polynomial,
+    share_secret,
+)
+from repro.field.polynomial import Polynomial
+
+F = default_field()
+
+
+def test_share_and_reconstruct():
+    sharing = share_secret(F, 42, degree=2, n=7, rng=random.Random(1))
+    assert len(sharing.shares) == 7
+    assert sharing.reconstruct() == F(42)
+    assert reconstruct_secret(F, sharing.shares, 2) == F(42)
+
+
+def test_share_of_specific_party():
+    sharing = share_secret(F, 5, degree=1, n=4, rng=random.Random(2))
+    assert sharing.share_of(3) == sharing.shares[3]
+
+
+def test_share_polynomial_evaluates_alphas():
+    poly = Polynomial.random(F, 2, rng=random.Random(3))
+    shares = share_polynomial(F, poly, 5)
+    for i in range(1, 6):
+        assert shares[i] == poly.evaluate(F.alpha(i))
+
+
+def test_reconstruct_requires_enough_shares():
+    sharing = share_secret(F, 9, degree=3, n=6, rng=random.Random(4))
+    partial = {i: sharing.shares[i] for i in (1, 2, 3)}
+    with pytest.raises(ValueError):
+        reconstruct_secret(F, partial, 3)
+
+
+def test_linearity_of_sharings():
+    a = share_secret(F, 10, degree=1, n=4, rng=random.Random(5))
+    b = share_secret(F, 20, degree=1, n=4, rng=random.Random(6))
+    total = a + b
+    assert total.reconstruct() == F(30)
+    scaled = a * 3
+    assert scaled.reconstruct() == F(30)
+    scaled_r = 3 * a
+    assert scaled_r.reconstruct() == F(30)
+
+
+def test_robust_reconstruct_with_corrupt_share():
+    sharing = share_secret(F, 77, degree=1, n=4, rng=random.Random(7))
+    shares = dict(sharing.shares)
+    shares[2] = shares[2] + 9  # one corrupted share, t = 1
+    assert robust_reconstruct(F, shares, degree=1, max_faults=1) == F(77)
+
+
+def test_robust_reconstruct_fails_with_too_many_errors():
+    sharing = share_secret(F, 77, degree=1, n=4, rng=random.Random(8))
+    shares = dict(sharing.shares)
+    # Three corrupted shares (non-collinear offsets) out of four with t = 1:
+    # the true secret can no longer be recovered.
+    shares[1] = shares[1] + 1
+    shares[2] = shares[2] + 5
+    shares[3] = shares[3] + 17
+    assert robust_reconstruct(F, shares, degree=1, max_faults=1) != F(77)
+
+
+def test_privacy_t_shares_leave_secret_undetermined():
+    """Any t shares are consistent with every possible secret."""
+    sharing = share_secret(F, 123, degree=2, n=5, rng=random.Random(9))
+    observed = [(F.alpha(i), sharing.shares[i]) for i in (1, 2)]  # only 2 < t+1 shares
+    from repro.field.polynomial import lagrange_interpolate
+
+    for candidate in (0, 1, 999):
+        poly = lagrange_interpolate(F, observed + [(F(0), F(candidate))])
+        assert poly.degree <= 2
+        for x, y in observed:
+            assert poly.evaluate(x) == y
+
+
+@settings(max_examples=30, deadline=None)
+@given(secret=st.integers(0, 10 ** 9), degree=st.integers(0, 3), seed=st.integers(0, 2 ** 31))
+def test_property_share_reconstruct_roundtrip(secret, degree, seed):
+    n = 2 * degree + 3
+    sharing = share_secret(F, secret, degree=degree, n=n, rng=random.Random(seed))
+    assert sharing.reconstruct() == F(secret)
+    assert robust_reconstruct(F, sharing.shares, degree, max_faults=degree + 1) == F(secret)

@@ -1,0 +1,316 @@
+"""Tests for the discrete-event simulator, network models and adversary behaviours."""
+
+import random
+
+import pytest
+
+from repro.field import Polynomial, default_field
+from repro.sim.adversary import (
+    CompositeBehavior,
+    CrashBehavior,
+    DelayBehavior,
+    EquivocatingBehavior,
+    HonestBehavior,
+    SilentBehavior,
+    WrongValueBehavior,
+)
+from repro.sim.messages import Message, payload_bits
+from repro.sim.network import (
+    AdversarialAsynchronousNetwork,
+    AsynchronousNetwork,
+    PartitionedSynchronousNetwork,
+    SynchronousNetwork,
+)
+from repro.sim.party import ProtocolInstance
+from repro.sim.runner import ProtocolRunner
+from repro.sim.simulator import Simulator
+
+F = default_field()
+
+
+class PingPong(ProtocolInstance):
+    """Tiny protocol: party 1 pings everyone; everyone outputs the ping."""
+
+    def start(self):
+        if self.me == 1:
+            self.send_all(("ping", F(7)))
+
+    def receive(self, sender, payload):
+        if payload[0] == "ping" and not self.has_output:
+            self.set_output(payload[1])
+
+
+class EchoCollector(ProtocolInstance):
+    """Every party broadcasts once; outputs after hearing from everyone."""
+
+    def start(self):
+        self.heard = set()
+        self.send_all(("echo", self.me))
+
+    def receive(self, sender, payload):
+        self.heard.add(sender)
+        if len(self.heard) == self.n and not self.has_output:
+            self.set_output(sorted(self.heard))
+
+
+# -- payload measurement ------------------------------------------------------------------
+
+
+def test_payload_bits_field_element():
+    assert payload_bits(F(5)) == F.element_bits()
+
+
+def test_payload_bits_polynomial():
+    poly = Polynomial(F, [F(1), F(2), F(3)])
+    assert payload_bits(poly) == 3 * F.element_bits()
+
+
+def test_payload_bits_containers_and_scalars():
+    assert payload_bits(None) == 1
+    assert payload_bits(True) == 1
+    assert payload_bits(7) == 64
+    assert payload_bits(3.5) == 64
+    assert payload_bits("abc") == 24
+    assert payload_bits(b"ab") == 16
+    assert payload_bits((1, 2)) == 128
+    assert payload_bits([F(1), "a"]) == F.element_bits() + 8
+    assert payload_bits({"k": 1}) == 8 + 64
+    assert payload_bits(object()) == 128
+
+
+def test_message_bits_include_header():
+    message = Message(1, 2, "tag", F(3), 0.0)
+    assert message.bits == 64 + F.element_bits()
+    assert "tag" in repr(message)
+
+
+# -- network models ------------------------------------------------------------------------
+
+
+def test_synchronous_network_delay_bounded():
+    net = SynchronousNetwork(delta=2.0)
+    msg = Message(1, 2, "t", 1, 0.0)
+    assert net.delay(msg, random.Random(0)) == 2.0
+    jittery = SynchronousNetwork(delta=2.0, jitter=0.5)
+    for _ in range(20):
+        delay = jittery.delay(msg, random.Random())
+        assert 1.0 <= delay <= 2.0
+    with pytest.raises(ValueError):
+        SynchronousNetwork(jitter=0.0)
+
+
+def test_asynchronous_network_delay_finite():
+    net = AsynchronousNetwork(delta=1.0, min_delay=0.1, max_delay=10.0)
+    msg = Message(1, 2, "t", 1, 0.0)
+    rng = random.Random(1)
+    for _ in range(50):
+        delay = net.delay(msg, rng)
+        assert 0.1 <= delay <= 10.0
+    assert not net.is_synchronous
+
+
+def test_adversarial_asynchronous_network_targets_parties():
+    net = AdversarialAsynchronousNetwork(slow_parties=frozenset({2}), slow_delay=50.0, fast_delay=0.5)
+    rng = random.Random(0)
+    assert net.delay(Message(2, 3, "t", 1, 0.0), rng) == 50.0
+    assert net.delay(Message(3, 2, "t", 1, 0.0), rng) == 50.0
+    assert net.delay(Message(1, 3, "t", 1, 0.0), rng) == 0.5
+    senders_only = AdversarialAsynchronousNetwork(
+        slow_parties=frozenset({2}), slow_senders_only=True
+    )
+    assert senders_only.delay(Message(3, 2, "t", 1, 0.0), rng) == senders_only.fast_delay
+
+
+def test_partitioned_synchronous_network_violates_delta():
+    net = PartitionedSynchronousNetwork(delta=1.0, delayed_parties=frozenset({1}), violation_factor=10)
+    rng = random.Random(0)
+    assert net.delay(Message(1, 2, "t", 1, 0.0), rng) == 10.0
+    assert net.delay(Message(2, 1, "t", 1, 0.0), rng) == 1.0
+    assert not net.is_synchronous
+
+
+# -- simulator / runner ---------------------------------------------------------------------
+
+
+def test_ping_pong_runs_and_measures():
+    runner = ProtocolRunner(4, network=SynchronousNetwork(delta=1.0), seed=0)
+    result = runner.run(lambda p: PingPong(p, "ping"))
+    assert result.all_honest_done()
+    assert all(v == F(7) for v in result.honest_outputs().values())
+    # 4 sends from party 1, of which one is a free self-delivery.
+    assert result.metrics.messages_sent == 3
+    assert result.metrics.honest_bits > 0
+    assert result.output_of(2) == F(7)
+    assert result.output_time_of(2) == pytest.approx(1.0)
+
+
+def test_echo_collector_all_parties():
+    runner = ProtocolRunner(5, network=AsynchronousNetwork(), seed=3)
+    result = runner.run(lambda p: EchoCollector(p, "echo"))
+    assert result.all_honest_done()
+    assert all(v == [1, 2, 3, 4, 5] for v in result.honest_outputs().values())
+
+
+def test_metrics_exclude_corrupt_senders_from_honest_bits():
+    runner = ProtocolRunner(3, corrupt={1: HonestBehavior()})
+    result = runner.run(lambda p: EchoCollector(p, "echo"))
+    assert result.metrics.total_bits > result.metrics.honest_bits
+
+
+def test_simulator_timer_and_step():
+    sim = Simulator(2)
+    fired = []
+    sim.schedule_timer(5.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [5.0]
+    assert sim.events_processed == 1
+    assert not sim.step()
+
+
+def test_simulator_max_time_and_events():
+    sim = Simulator(2)
+    for i in range(10):
+        sim.schedule_timer(float(i), lambda: None)
+    sim.run(max_time=4.5)
+    assert sim.now <= 4.5
+    sim2 = Simulator(2)
+    for i in range(10):
+        sim2.schedule_timer(float(i), lambda: None)
+    sim2.run(max_events=3)
+    assert sim2.events_processed == 3
+
+
+def test_messages_processed_before_timers_at_same_time():
+    order = []
+
+    class Recorder(ProtocolInstance):
+        def start(self):
+            if self.me == 1:
+                self.send(2, "hello")
+            if self.me == 2:
+                self.schedule_at(1.0, lambda: order.append("timer"))
+
+        def receive(self, sender, payload):
+            order.append("message")
+
+    runner = ProtocolRunner(2, network=SynchronousNetwork(delta=1.0))
+    runner.run(lambda p: Recorder(p, "rec"), wait_for_all_honest=False)
+    assert order == ["message", "timer"]
+
+
+def test_duplicate_tag_rejected():
+    runner = ProtocolRunner(2)
+    party = runner.parties[1]
+    PingPong(party, "dup")
+    with pytest.raises(ValueError):
+        PingPong(party, "dup")
+
+
+def test_buffered_messages_replayed_after_registration():
+    runner = ProtocolRunner(2, network=SynchronousNetwork(delta=1.0))
+    sim = runner.simulator
+    # Party 1 sends to a tag party 2 has not registered yet.
+    sim.submit_message(1, 2, "late", ("ping", F(9)))
+    sim.run(max_time=2.0)
+    instance = PingPong(sim.parties[2], "late")
+    sim.run(max_time=3.0)
+    assert instance.output == F(9)
+
+
+# -- behaviours ------------------------------------------------------------------------------
+
+
+def _run_echo_with_behavior(behavior, n=4):
+    runner = ProtocolRunner(n, network=SynchronousNetwork(), seed=1, corrupt={2: behavior})
+    return runner.run(lambda p: EchoCollector(p, "echo"), max_time=50.0)
+
+
+def test_crash_behavior_silences_party():
+    result = _run_echo_with_behavior(CrashBehavior())
+    # Honest parties never hear from party 2, so they never complete.
+    assert not result.all_honest_done()
+
+
+def test_silent_behavior_filters_by_tag():
+    result = _run_echo_with_behavior(SilentBehavior(lambda tag: tag == "echo"))
+    assert not result.all_honest_done()
+    result = _run_echo_with_behavior(SilentBehavior(lambda tag: tag == "other"))
+    assert result.all_honest_done()
+
+
+def test_delay_behavior_eventually_delivers():
+    result = _run_echo_with_behavior(DelayBehavior(extra_delay=5.0))
+    assert result.all_honest_done()
+    assert max(result.honest_output_times().values()) >= 5.0
+
+
+def test_wrong_value_behavior_perturbs_field_elements():
+    class ShareOnce(ProtocolInstance):
+        def start(self):
+            if self.me == 2:
+                self.send_all(("v", F(10), [F(20)], Polynomial(F, [F(1)])))
+
+        def receive(self, sender, payload):
+            if not self.has_output:
+                self.set_output(payload)
+
+    runner = ProtocolRunner(3, corrupt={2: WrongValueBehavior(offset=1)})
+    result = runner.run(lambda p: ShareOnce(p, "share"), wait_for_all_honest=False, max_time=10.0)
+    received = result.output_of(1)
+    assert received[1] == F(11)
+    assert received[2][0] == F(21)
+    assert received[3].coeffs[0] == F(2)
+
+
+def test_wrong_value_behavior_targets_recipients():
+    behavior = WrongValueBehavior(target_recipients=[3], offset=2)
+
+    class ShareOnce(ProtocolInstance):
+        def start(self):
+            if self.me == 2:
+                self.send_all(("v", F(10)))
+
+        def receive(self, sender, payload):
+            if not self.has_output:
+                self.set_output(payload[1])
+
+    runner = ProtocolRunner(3, corrupt={2: behavior})
+    result = runner.run(lambda p: ShareOnce(p, "share"), wait_for_all_honest=False, max_time=10.0)
+    assert result.output_of(1) == F(10)
+    assert result.output_of(3) == F(12)
+
+
+def test_equivocating_behavior_sends_different_values():
+    behavior = EquivocatingBehavior(group_b=[3], offset=5)
+
+    class ShareOnce(ProtocolInstance):
+        def start(self):
+            if self.me == 2:
+                self.send_all(("v", F(1)))
+
+        def receive(self, sender, payload):
+            if not self.has_output:
+                self.set_output(payload[1])
+
+    runner = ProtocolRunner(3, corrupt={2: behavior})
+    result = runner.run(lambda p: ShareOnce(p, "share"), wait_for_all_honest=False, max_time=10.0)
+    assert result.output_of(1) == F(1)
+    assert result.output_of(3) == F(6)
+
+
+def test_composite_behavior_chains():
+    behavior = CompositeBehavior([WrongValueBehavior(offset=1), CrashBehavior(crash_time=100.0)])
+
+    class ShareOnce(ProtocolInstance):
+        def start(self):
+            if self.me == 2:
+                self.send_all(("v", F(1)))
+
+        def receive(self, sender, payload):
+            if not self.has_output:
+                self.set_output(payload[1])
+
+    runner = ProtocolRunner(3, corrupt={2: behavior})
+    result = runner.run(lambda p: ShareOnce(p, "share"), wait_for_all_honest=False, max_time=10.0)
+    assert result.output_of(1) == F(2)
+    assert not behavior.drop_incoming(None, 1, "t", None)
