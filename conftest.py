@@ -8,6 +8,14 @@ to ``sys.path`` here keeps the test and benchmark suites runnable either way.
 import os
 import sys
 
-_SRC = os.path.join(os.path.dirname(__file__), "src")
+_ROOT = os.path.dirname(__file__)
+_SRC = os.path.join(_ROOT, "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+# The tier-1 suite runs a quick smoke of the batch benchmarks (see
+# tests/test_field_array.py), so the benchmarks package must be importable
+# from the tests no matter how pytest was invoked.
+_BENCH = os.path.join(_ROOT, "benchmarks")
+if os.path.isdir(_BENCH) and _BENCH not in sys.path:
+    sys.path.append(_BENCH)

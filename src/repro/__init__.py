@@ -16,7 +16,16 @@ Quickstart::
     print(int(result.outputs[0]))   # 1155
 """
 
-from repro.field import GF, FieldElement, Polynomial, SymmetricBivariatePolynomial, default_field
+from repro.field import (
+    GF,
+    FieldArray,
+    FieldElement,
+    Polynomial,
+    SymmetricBivariatePolynomial,
+    batch_enabled,
+    default_field,
+    set_batch_enabled,
+)
 from repro.mpc import run_mpc, MPCResult, CircuitEvaluation
 from repro.sim import (
     ProtocolRunner,
@@ -29,10 +38,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "GF",
+    "FieldArray",
     "FieldElement",
     "Polynomial",
     "SymmetricBivariatePolynomial",
+    "batch_enabled",
     "default_field",
+    "set_batch_enabled",
     "run_mpc",
     "MPCResult",
     "CircuitEvaluation",

@@ -1,11 +1,19 @@
-"""Error-correction substrate: Reed-Solomon decoding and Online Error Correction."""
+"""Error-correction substrate: Reed-Solomon decoding and Online Error Correction.
 
-from repro.codes.reed_solomon import rs_decode, rs_interpolate_with_errors
-from repro.codes.oec import OnlineErrorCorrector, OECStatus
+Batch API: ``rs_decode_batch`` decodes many codewords sharing one evaluation
+point set against cached interpolation matrices, and
+``BatchOnlineErrorCorrector`` runs OEC for a whole vector of values per
+sender row; both are equivalence-tested against the scalar decoders.
+"""
+
+from repro.codes.reed_solomon import rs_decode, rs_decode_batch, rs_interpolate_with_errors
+from repro.codes.oec import BatchOnlineErrorCorrector, OnlineErrorCorrector, OECStatus
 
 __all__ = [
     "rs_decode",
+    "rs_decode_batch",
     "rs_interpolate_with_errors",
     "OnlineErrorCorrector",
+    "BatchOnlineErrorCorrector",
     "OECStatus",
 ]

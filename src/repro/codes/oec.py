@@ -11,9 +11,9 @@ points come from honest parties).  OEC succeeds whenever d < |P'| - 2t.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
-from repro.codes.reed_solomon import rs_decode
+from repro.codes.reed_solomon import rs_decode, rs_decode_batch
 from repro.field.gf import GF, FieldElement
 from repro.field.polynomial import Polynomial
 
@@ -82,3 +82,97 @@ class OnlineErrorCorrector:
         if self.polynomial is None:
             return None
         return self.polynomial.constant_term()
+
+
+class BatchOnlineErrorCorrector:
+    """OEC over many values that share the same set of senders.
+
+    The batched twin of running ``count`` independent
+    :class:`OnlineErrorCorrector` instances: every sender contributes one
+    *row* (its share of each of the ``count`` values) and all columns are
+    decoded together via :func:`rs_decode_batch`, which amortizes the
+    interpolation matrices across the whole batch.  Row entries may be None
+    (a sender that garbled one value); such columns simply wait for more
+    rows, exactly as their scalar twin would.
+
+    Decoding succeeds column-by-column; :attr:`done` flips once every column
+    has been recovered.  :meth:`secrets` fails loudly (raises ValueError)
+    while any column is still undecoded rather than returning partial data.
+    """
+
+    def __init__(self, field: GF, count: int, degree: int, max_faults: int):
+        self.field = field
+        self.count = count
+        self.degree = degree
+        self.max_faults = max_faults
+        self._order: List[int] = []
+        self._rows: Dict[int, List[Optional[int]]] = {}
+        self.polynomials: List[Optional[Polynomial]] = [None] * count
+        self.status = OECStatus.DONE if count == 0 else OECStatus.WAITING
+
+    def add_row(self, x, values: Sequence) -> bool:
+        """Record one sender's row of values and retry decoding.
+
+        ``values`` must have length ``count``; entries are ints/FieldElements
+        or None for values this sender did not (validly) report.  As in the
+        scalar corrector, the first reported value per (x, column) wins.
+        """
+        if len(values) != self.count:
+            raise ValueError("row length does not match batch size")
+        if self.status is OECStatus.DONE:
+            return True
+        p = self.field.modulus
+        x_val = int(self.field(x))
+        row = self._rows.get(x_val)
+        if row is None:
+            self._rows[x_val] = [
+                None if v is None else int(v) % p for v in values
+            ]
+            self._order.append(x_val)
+        else:
+            for column, value in enumerate(values):
+                if row[column] is None and value is not None:
+                    row[column] = int(value) % p
+        return self.try_decode()
+
+    def try_decode(self) -> bool:
+        """Attempt batched RS decoding of every still-undecoded column."""
+        if self.status is OECStatus.DONE:
+            return True
+        threshold = self.degree + self.max_faults + 1
+        # Group undecoded columns by the set of senders that reported them,
+        # so each group shares one rs_decode_batch call (and its matrices).
+        groups: Dict[tuple, List[int]] = {}
+        for column in range(self.count):
+            if self.polynomials[column] is not None:
+                continue
+            xs = tuple(x for x in self._order if self._rows[x][column] is not None)
+            if len(xs) < threshold:
+                continue
+            groups.setdefault(xs, []).append(column)
+        for xs, columns in groups.items():
+            rows = [[self._rows[x][column] for x in xs] for column in columns]
+            decoded = rs_decode_batch(self.field, xs, rows, self.degree, self.max_faults)
+            for column, poly in zip(columns, decoded):
+                if poly is not None:
+                    self.polynomials[column] = poly
+        if all(poly is not None for poly in self.polynomials):
+            self.status = OECStatus.DONE
+        return self.status is OECStatus.DONE
+
+    @property
+    def done(self) -> bool:
+        return self.status is OECStatus.DONE
+
+    def secrets(self) -> List[FieldElement]:
+        """Constant terms of every decoded polynomial; loud while incomplete."""
+        if self.status is not OECStatus.DONE:
+            undecoded = [i for i, poly in enumerate(self.polynomials) if poly is None]
+            raise ValueError(f"batch OEC has not decoded values {undecoded}")
+        return [poly.constant_term() for poly in self.polynomials]  # type: ignore[union-attr]
+
+    def values_at(self, x) -> List[FieldElement]:
+        """Evaluate every decoded polynomial at ``x``; loud while incomplete."""
+        if self.status is not OECStatus.DONE:
+            raise ValueError("batch OEC has not decoded all values")
+        return [poly.evaluate(x) for poly in self.polynomials]  # type: ignore[union-attr]

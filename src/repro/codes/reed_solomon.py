@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from repro.field.array import dot_mod, inverse_vandermonde, lagrange_matrix
 from repro.field.gf import GF, FieldElement
 from repro.field.polynomial import Polynomial
 
@@ -152,3 +153,70 @@ def rs_decode(
     if agreeing < degree + max_errors + 1:
         return None
     return poly
+
+
+def rs_decode_batch(
+    field: GF,
+    xs: Sequence,
+    rows: Sequence[Sequence],
+    degree: int,
+    max_errors: int,
+) -> List[Optional[Polynomial]]:
+    """Decode many codewords that share the same evaluation points.
+
+    ``rows[k]`` holds the received values of codeword k over ``xs`` (ints or
+    FieldElements).  Fast path: the candidate polynomial through the first
+    ``degree + 1`` points is computed for every row against one cached
+    Lagrange matrix (a dot product per received point, no Gaussian
+    elimination) and accepted iff it meets exactly the :func:`rs_decode`
+    acceptance condition -- at most ``max_errors`` mismatches and at least
+    ``degree + max_errors + 1`` agreeing points.  Rows whose leading points
+    are corrupted fall back to the scalar Berlekamp-Welch reference path --
+    but a batch typically shares one corruption pattern (the same corrupt
+    senders garble every value), so the agreeing positions found by the
+    first Berlekamp-Welch solve become a second candidate window that
+    usually absorbs the rest of the batch without further Gaussian
+    elimination.  Every acceptance re-verifies the scalar condition, so the
+    batch decoder returns element-wise the same polynomials as per-row
+    :func:`rs_decode` whenever the protocol's uniqueness condition (at least
+    ``degree + 1`` honest agreeing points) holds.
+    """
+    p = field.modulus
+    xs_int = tuple(int(x) % p for x in xs)
+    results: List[Optional[Polynomial]] = [None] * len(rows)
+    n_points = len(xs_int)
+    if n_points < degree + 1:
+        return results
+
+    def try_window(window: Tuple[int, ...], values: List[int]) -> Optional[Polynomial]:
+        window_xs = tuple(xs_int[i] for i in window)
+        eval_matrix = lagrange_matrix(field, window_xs, xs_int)
+        head = [values[i] for i in window]
+        predicted = [dot_mod(m_row, head, p) for m_row in eval_matrix]
+        mismatches = sum(1 for a, b in zip(predicted, values) if a != b)
+        if mismatches <= max_errors and n_points - mismatches >= degree + max_errors + 1:
+            coeff_matrix = inverse_vandermonde(field, window_xs)
+            coeffs = [dot_mod(c_row, head, p) for c_row in coeff_matrix]
+            return Polynomial(field, coeffs)
+        return None
+
+    base_window = tuple(range(degree + 1))
+    learned_window: Optional[Tuple[int, ...]] = None
+    for index, row in enumerate(rows):
+        values = [int(v) % p for v in row]
+        poly = try_window(base_window, values)
+        if poly is None and learned_window is not None:
+            poly = try_window(learned_window, values)
+        if poly is None:
+            points = list(zip(xs_int, values))
+            poly = rs_decode(field, points, degree, max_errors)
+            if poly is not None:
+                agreeing = [
+                    i
+                    for i, (x, v) in enumerate(zip(xs_int, values))
+                    if int(poly.evaluate(x)) == v
+                ]
+                if len(agreeing) >= degree + 1:
+                    learned_window = tuple(agreeing[: degree + 1])
+        results[index] = poly
+    return results

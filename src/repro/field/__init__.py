@@ -4,11 +4,32 @@ Provides the prime field GF(p), univariate polynomials with Lagrange
 interpolation, and symmetric bivariate polynomials -- the algebraic
 objects used by every protocol in the paper (Section 2, "Polynomials
 Over a Field").
+
+Batch API: :class:`~repro.field.array.FieldArray` vectorizes field
+arithmetic over plain-int residues (element-wise ops, Montgomery batch
+inversion) and :mod:`repro.field.array` caches Lagrange/Vandermonde
+coefficient matrices keyed by ``(field, eval_points)`` so that repeated
+interpolation against the fixed protocol point sets (party alphas, beta
+extraction points) costs one dot product per value.  The scalar
+``FieldElement``/``Polynomial`` paths remain the reference twins that the
+property-based equivalence tests check the fast paths against.
 """
 
 from repro.field.gf import GF, FieldElement, DEFAULT_PRIME, default_field
 from repro.field.polynomial import Polynomial, lagrange_interpolate, lagrange_coefficients
 from repro.field.bivariate import SymmetricBivariatePolynomial
+from repro.field.array import (
+    FieldArray,
+    batch_enabled,
+    batch_interpolate,
+    batch_interpolate_at,
+    batch_inverse,
+    inverse_vandermonde,
+    lagrange_matrix,
+    lagrange_row,
+    set_batch_enabled,
+    vandermonde_matrix,
+)
 
 __all__ = [
     "GF",
@@ -19,4 +40,14 @@ __all__ = [
     "lagrange_interpolate",
     "lagrange_coefficients",
     "SymmetricBivariatePolynomial",
+    "FieldArray",
+    "batch_enabled",
+    "batch_interpolate",
+    "batch_interpolate_at",
+    "batch_inverse",
+    "inverse_vandermonde",
+    "lagrange_matrix",
+    "lagrange_row",
+    "set_batch_enabled",
+    "vandermonde_matrix",
 ]

@@ -1,0 +1,466 @@
+"""Batched field arithmetic: the fast twin of the scalar ``FieldElement`` API.
+
+Every hot path in the reproduction (Berlekamp-Welch decoding, OEC, Shamir
+encode/reconstruct, Beaver triple extraction) ultimately performs the same
+handful of field operations over *many* values at once.  Doing that one
+boxed :class:`~repro.field.gf.FieldElement` at a time dominates the runtime,
+so this module provides:
+
+* :class:`FieldArray` -- element-wise add/sub/mul/inv over a list of residues
+  stored as plain Python ints, with a single modular reduction per op;
+* :func:`batch_inverse` -- Montgomery's trick: k inversions for the price of
+  one modular exponentiation plus 3(k-1) multiplications;
+* cached Lagrange rows / matrices and (inverse) Vandermonde matrices keyed by
+  ``(field, eval_points)``, so repeated interpolation against the same point
+  set (the overwhelmingly common case: party alphas and beta extraction
+  points never change) costs one dot product per value.
+
+The scalar ``FieldElement``/``Polynomial`` code paths are kept untouched as
+the reference implementation; ``tests/test_field_array.py`` checks that every
+fast path here agrees with its slow twin element-wise on randomized inputs.
+
+Batch API summary::
+
+    arr = FieldArray(field, [1, 2, 3])
+    (arr * arr + 1).inverse()                  # element-wise, Montgomery inv
+    row = lagrange_row(field, xs, at)          # cached coefficient row
+    mat = lagrange_matrix(field, xs, targets)  # cached row stack
+    batch_interpolate_at(field, xs, rows, at)  # one dot product per row
+    coeffs_rows = batch_interpolate(field, xs, rows)  # cached inverse Vandermonde
+
+A module-level switch (:func:`batch_enabled` / :func:`set_batch_enabled`)
+lets callers fall back to the scalar reference paths end-to-end, which the
+regression tests use to prove batching never changes protocol outputs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.field.gf import GF, FieldElement
+
+IntRow = Tuple[int, ...]
+Matrix = Tuple[IntRow, ...]
+
+# -- global batching switch ---------------------------------------------------
+
+_BATCH_ENABLED = True
+
+
+def batch_enabled() -> bool:
+    """Whether the protocol layers should take the batched fast paths."""
+    return _BATCH_ENABLED
+
+
+def set_batch_enabled(enabled: bool) -> bool:
+    """Toggle the batched fast paths; returns the previous setting."""
+    global _BATCH_ENABLED
+    previous = _BATCH_ENABLED
+    _BATCH_ENABLED = bool(enabled)
+    return previous
+
+
+# -- batch inversion ----------------------------------------------------------
+
+
+def batch_inverse(field: GF, values: Sequence[int]) -> List[int]:
+    """Montgomery's trick: invert every residue with a single exponentiation.
+
+    Raises ZeroDivisionError if any value is zero mod p (matching the scalar
+    ``FieldElement.inverse`` behaviour).
+    """
+    p = field.modulus
+    reduced = [int(v) % p for v in values]
+    if not reduced:
+        return []
+    prefix: List[int] = [0] * len(reduced)
+    acc = 1
+    for index, value in enumerate(reduced):
+        if value == 0:
+            raise ZeroDivisionError("zero has no multiplicative inverse")
+        acc = acc * value % p
+        prefix[index] = acc
+    inv = pow(acc, p - 2, p)
+    out = [0] * len(reduced)
+    for index in range(len(reduced) - 1, 0, -1):
+        out[index] = prefix[index - 1] * inv % p
+        inv = inv * reduced[index] % p
+    out[0] = inv
+    return out
+
+
+# -- cached interpolation machinery -------------------------------------------
+#
+# All caches are keyed by the GF instance itself; GF objects are interned per
+# modulus (see gf.py), so two independently constructed fields with the same
+# modulus share one cache line.  Caches are bounded: protocol instances probe
+# many different grown point sets during OEC, and an unbounded cache would
+# slowly leak across long simulations.
+
+_CACHE_LIMIT = 4096
+
+_LAGRANGE_ROW_CACHE: Dict[Tuple, IntRow] = {}
+_LAGRANGE_MATRIX_CACHE: Dict[Tuple, Matrix] = {}
+_VANDERMONDE_CACHE: Dict[Tuple, Matrix] = {}
+_INV_VANDERMONDE_CACHE: Dict[Tuple, Matrix] = {}
+
+
+def clear_caches() -> None:
+    """Drop every cached coefficient matrix (mainly for tests/benchmarks)."""
+    _LAGRANGE_ROW_CACHE.clear()
+    _LAGRANGE_MATRIX_CACHE.clear()
+    _VANDERMONDE_CACHE.clear()
+    _INV_VANDERMONDE_CACHE.clear()
+
+
+def cache_stats() -> Dict[str, int]:
+    return {
+        "lagrange_rows": len(_LAGRANGE_ROW_CACHE),
+        "lagrange_matrices": len(_LAGRANGE_MATRIX_CACHE),
+        "vandermonde": len(_VANDERMONDE_CACHE),
+        "inverse_vandermonde": len(_INV_VANDERMONDE_CACHE),
+    }
+
+
+def _bounded_put(cache: Dict, key, value):
+    if len(cache) >= _CACHE_LIMIT:
+        cache.clear()
+    cache[key] = value
+    return value
+
+
+def _as_int_tuple(field: GF, xs: Iterable) -> IntRow:
+    p = field.modulus
+    return tuple(int(x) % p for x in xs)
+
+
+def _pairwise_denominators(points: Sequence[int], p: int) -> List[int]:
+    """The Lagrange denominators d_i = prod_{j != i} (x_i - x_j) mod p."""
+    denominators = []
+    for i, xi in enumerate(points):
+        d = 1
+        for j, xj in enumerate(points):
+            if i != j:
+                d = d * (xi - xj) % p
+        denominators.append(d)
+    return denominators
+
+
+def lagrange_row(field: GF, xs: Sequence, at) -> IntRow:
+    """Cached Lagrange coefficients c_i with f(at) = sum c_i * f(xs[i]).
+
+    The fast twin of :func:`repro.field.polynomial.lagrange_coefficients`:
+    same values, but plain ints, one batched inversion, and memoized on
+    ``(field, xs, at)``.
+    """
+    p = field.modulus
+    points = _as_int_tuple(field, xs)
+    target = int(at) % p
+    key = (field, points, target)
+    cached = _LAGRANGE_ROW_CACHE.get(key)
+    if cached is not None:
+        return cached
+    if len(set(points)) != len(points):
+        raise ValueError("interpolation points must be distinct")
+    # f(at) is trivially f(x_j) when the target is an interpolation point.
+    if target in points:
+        unit = tuple(1 if x == target else 0 for x in points)
+        return _bounded_put(_LAGRANGE_ROW_CACHE, key, unit)
+    diffs = [(target - x) % p for x in points]
+    # prefix[i] = prod_{j<i} diffs[j], suffix[i] = prod_{j>i} diffs[j]
+    k = len(points)
+    prefix = [1] * k
+    for i in range(1, k):
+        prefix[i] = prefix[i - 1] * diffs[i - 1] % p
+    suffix = [1] * k
+    for i in range(k - 2, -1, -1):
+        suffix[i] = suffix[i + 1] * diffs[i + 1] % p
+    inv_denoms = batch_inverse(field, _pairwise_denominators(points, p))
+    row = tuple(prefix[i] * suffix[i] % p * inv_denoms[i] % p for i in range(k))
+    return _bounded_put(_LAGRANGE_ROW_CACHE, key, row)
+
+
+def lagrange_matrix(field: GF, xs: Sequence, targets: Sequence) -> Matrix:
+    """Cached stack of Lagrange rows: one row per target evaluation point.
+
+    ``matrix @ values_at_xs`` evaluates the interpolating polynomial through
+    ``(xs, values)`` at every target at once.
+    """
+    points = _as_int_tuple(field, xs)
+    wanted = _as_int_tuple(field, targets)
+    key = (field, points, wanted)
+    cached = _LAGRANGE_MATRIX_CACHE.get(key)
+    if cached is not None:
+        return cached
+    matrix = tuple(lagrange_row(field, points, t) for t in wanted)
+    return _bounded_put(_LAGRANGE_MATRIX_CACHE, key, matrix)
+
+
+def vandermonde_matrix(field: GF, xs: Sequence, degree: int) -> Matrix:
+    """Cached Vandermonde matrix: row i is (1, x_i, x_i^2, ..., x_i^degree).
+
+    ``matrix @ coeffs`` evaluates a degree-``degree`` polynomial at every x.
+    """
+    points = _as_int_tuple(field, xs)
+    key = (field, points, degree)
+    cached = _VANDERMONDE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    p = field.modulus
+    rows = []
+    for x in points:
+        row = [1] * (degree + 1)
+        for k in range(1, degree + 1):
+            row[k] = row[k - 1] * x % p
+        rows.append(tuple(row))
+    return _bounded_put(_VANDERMONDE_CACHE, key, tuple(rows))
+
+
+def inverse_vandermonde(field: GF, xs: Sequence) -> Matrix:
+    """Cached matrix C with ``coeffs = C @ values``: interpolation to coefficients.
+
+    Built from Lagrange basis polynomials via synthetic division of the
+    master polynomial M(x) = prod (x - x_j); O(k^2) once per point set.
+    Row k of C holds the coefficient of x^k contributed by each value, i.e.
+    ``C[k][i] = [x^k] basis_i(x)``.
+    """
+    points = _as_int_tuple(field, xs)
+    key = (field, points)
+    cached = _INV_VANDERMONDE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    if len(set(points)) != len(points):
+        raise ValueError("interpolation points must be distinct")
+    p = field.modulus
+    k = len(points)
+    # Master polynomial M(x) = prod (x - x_j), degree k, coefficients low->high.
+    master = [1]
+    for x in points:
+        master = [0] + master
+        for idx in range(len(master) - 1):
+            master[idx] = (master[idx] - x * master[idx + 1]) % p
+    inv_denoms = batch_inverse(field, _pairwise_denominators(points, p))
+    # basis_i = M(x) / (x - x_i) * inv_denoms[i], via synthetic division.
+    columns: List[List[int]] = []
+    for i, xi in enumerate(points):
+        quotient = [0] * k
+        carry = master[k]  # leading coefficient, always 1
+        for deg in range(k - 1, -1, -1):
+            quotient[deg] = carry
+            carry = (master[deg] + carry * xi) % p
+        scale = inv_denoms[i]
+        columns.append([q * scale % p for q in quotient])
+    matrix = tuple(
+        tuple(columns[i][deg] for i in range(k)) for deg in range(k)
+    )
+    return _bounded_put(_INV_VANDERMONDE_CACHE, key, matrix)
+
+
+def dot_mod(row: Sequence[int], values: Sequence[int], modulus: int) -> int:
+    """Inner product with a single trailing reduction."""
+    return sum(c * v for c, v in zip(row, values)) % modulus
+
+
+def batch_interpolate_at(
+    field: GF, xs: Sequence, rows: Sequence[Sequence[int]], at
+) -> List[int]:
+    """Evaluate, for every row of values over ``xs``, its interpolant at ``at``."""
+    row = lagrange_row(field, xs, at)
+    p = field.modulus
+    return [dot_mod(row, values, p) for values in rows]
+
+
+def batch_interpolate(
+    field: GF, xs: Sequence, rows: Sequence[Sequence[int]]
+) -> List[List[int]]:
+    """Coefficient lists (low -> high) of the interpolants of many value rows."""
+    matrix = inverse_vandermonde(field, xs)
+    p = field.modulus
+    return [[dot_mod(c_row, values, p) for c_row in matrix] for values in rows]
+
+
+def batch_evaluate(
+    field: GF, coeff_rows: Sequence[Sequence[int]], xs: Sequence
+) -> List[List[int]]:
+    """Evaluate many coefficient rows at the same points via one cached matrix."""
+    if not coeff_rows:
+        return []
+    degree = max(len(row) for row in coeff_rows) - 1
+    matrix = vandermonde_matrix(field, xs, degree)
+    p = field.modulus
+    out = []
+    for coeffs in coeff_rows:
+        padded = list(coeffs) + [0] * (degree + 1 - len(coeffs))
+        out.append([dot_mod(v_row, padded, p) for v_row in matrix])
+    return out
+
+
+# -- the array type -----------------------------------------------------------
+
+ArrayLike = Union["FieldArray", Sequence, int, FieldElement]
+
+
+class FieldArray:
+    """A vector of GF(p) residues stored as plain ints.
+
+    Element-wise arithmetic with a single modular reduction per slot; scalars
+    (ints or :class:`FieldElement`) broadcast.  Mixing arrays over different
+    fields or of different lengths raises ValueError, mirroring the scalar
+    API's refusal to mix fields.
+    """
+
+    __slots__ = ("field", "values")
+
+    def __init__(self, field: GF, values: Iterable, _normalized: bool = False):
+        self.field = field
+        if _normalized:
+            self.values = list(values)
+        else:
+            p = field.modulus
+            self.values = [int(v) % p for v in values]
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def zeros(cls, field: GF, count: int) -> "FieldArray":
+        return cls(field, [0] * count, _normalized=True)
+
+    @classmethod
+    def from_elements(cls, field: GF, elements: Sequence[FieldElement]) -> "FieldArray":
+        return cls(field, [e.value for e in elements], _normalized=True)
+
+    @classmethod
+    def random(cls, field: GF, count: int, rng: Optional[random.Random] = None) -> "FieldArray":
+        rng = rng or random
+        p = field.modulus
+        return cls(field, [rng.randrange(p) for _ in range(count)], _normalized=True)
+
+    # -- coercion ---------------------------------------------------------
+    def _coerce(self, other: ArrayLike) -> Optional[List[int]]:
+        """Return the other operand as a residue list of matching length."""
+        p = self.field.modulus
+        if isinstance(other, FieldArray):
+            if other.field.modulus != p:
+                raise ValueError("cannot mix arrays over different fields")
+            if len(other.values) != len(self.values):
+                raise ValueError("length mismatch in FieldArray arithmetic")
+            return other.values
+        if isinstance(other, FieldElement):
+            if other.field.modulus != p:
+                raise ValueError("cannot mix elements of different fields")
+            return [other.value] * len(self.values)
+        if isinstance(other, int):
+            return [other % p] * len(self.values)
+        if isinstance(other, (list, tuple)):
+            if len(other) != len(self.values):
+                raise ValueError("length mismatch in FieldArray arithmetic")
+            return [int(v) % p for v in other]
+        return None
+
+    # -- arithmetic -------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "FieldArray":
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        p = self.field.modulus
+        return FieldArray(
+            self.field, [(a + b) % p for a, b in zip(self.values, rhs)], _normalized=True
+        )
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ArrayLike) -> "FieldArray":
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        p = self.field.modulus
+        return FieldArray(
+            self.field, [(a - b) % p for a, b in zip(self.values, rhs)], _normalized=True
+        )
+
+    def __rsub__(self, other: ArrayLike) -> "FieldArray":
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        p = self.field.modulus
+        return FieldArray(
+            self.field, [(b - a) % p for a, b in zip(self.values, rhs)], _normalized=True
+        )
+
+    def __mul__(self, other: ArrayLike) -> "FieldArray":
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        p = self.field.modulus
+        return FieldArray(
+            self.field, [a * b % p for a, b in zip(self.values, rhs)], _normalized=True
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "FieldArray":
+        p = self.field.modulus
+        return FieldArray(self.field, [(-a) % p for a in self.values], _normalized=True)
+
+    def __truediv__(self, other: ArrayLike) -> "FieldArray":
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        inv = batch_inverse(self.field, rhs)
+        p = self.field.modulus
+        return FieldArray(
+            self.field, [a * b % p for a, b in zip(self.values, inv)], _normalized=True
+        )
+
+    def inverse(self) -> "FieldArray":
+        """Element-wise multiplicative inverse via Montgomery's trick."""
+        return FieldArray(self.field, batch_inverse(self.field, self.values), _normalized=True)
+
+    def dot(self, other: ArrayLike) -> FieldElement:
+        rhs = self._coerce(other)
+        if rhs is None:
+            raise TypeError("cannot take dot product with this operand")
+        return FieldElement(dot_mod(self.values, rhs, self.field.modulus), self.field)
+
+    def sum(self) -> FieldElement:
+        return FieldElement(sum(self.values) % self.field.modulus, self.field)
+
+    # -- container protocol ------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self):
+        field = self.field
+        return (FieldElement(v, field) for v in self.values)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return FieldArray(self.field, self.values[index], _normalized=True)
+        return FieldElement(self.values[index], self.field)
+
+    def to_elements(self) -> List[FieldElement]:
+        field = self.field
+        return [FieldElement(v, field) for v in self.values]
+
+    def tolist(self) -> List[int]:
+        return list(self.values)
+
+    # -- comparisons -------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FieldArray):
+            return self.field.modulus == other.field.modulus and self.values == other.values
+        if isinstance(other, (list, tuple)):
+            if len(other) != len(self.values):
+                return False
+            try:
+                rhs = self._coerce(other)
+            except ValueError:
+                return False
+            return rhs == self.values
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.field.modulus, tuple(self.values)))
+
+    def __repr__(self) -> str:
+        return f"FieldArray({self.values!r})"

@@ -147,12 +147,45 @@ class GF:
 
     Acts as an element factory and holds field-wide helpers (random
     elements, evaluation points alpha_i / beta_i used by the protocols).
+
+    Instances are interned per modulus: ``GF(p) is GF(p)`` always holds, so
+    the coefficient-matrix caches in :mod:`repro.field.array` (keyed by field
+    identity) are hit consistently no matter where the field object came
+    from.  The batch API built on top of this type lives in
+    :mod:`repro.field.array` (:class:`~repro.field.array.FieldArray`, batch
+    inversion, cached Lagrange/Vandermonde matrices).
     """
 
-    def __init__(self, modulus: int = DEFAULT_PRIME, check_prime: bool = True):
+    _interned: dict = {}
+
+    def __new__(cls, modulus: int = DEFAULT_PRIME, check_prime: bool = True):
+        cached = cls._interned.get(modulus) if cls is GF else None
+        if cached is not None:
+            # A later check_prime=True request still validates a modulus that
+            # was first interned with the check skipped.
+            if check_prime and not cached._prime_checked:
+                if not _is_probable_prime(modulus):
+                    raise ValueError(f"modulus {modulus} is not prime")
+                cached._prime_checked = True
+            return cached
         if check_prime and not _is_probable_prime(modulus):
             raise ValueError(f"modulus {modulus} is not prime")
-        self.modulus = modulus
+        instance = super().__new__(cls)
+        instance.modulus = modulus
+        instance._prime_checked = check_prime
+        if cls is GF:
+            cls._interned[modulus] = instance
+        return instance
+
+    def __init__(self, modulus: int = DEFAULT_PRIME, check_prime: bool = True):
+        # All real initialisation happens in __new__ (interning); re-running
+        # __init__ on a cached instance must be a no-op.
+        pass
+
+    def __reduce__(self):
+        # Keep pickle/deepcopy intern-safe: reconstruct through the factory
+        # instead of mutating a fresh (possibly shared) instance's __dict__.
+        return (GF, (self.modulus, False))
 
     # -- element construction --------------------------------------------
     def __call__(self, value: IntLike) -> FieldElement:
@@ -213,12 +246,10 @@ class GF:
         return f"GF({self.modulus})"
 
 
-_DEFAULT_FIELD: Optional[GF] = None
-
-
 def default_field() -> GF:
-    """Process-wide default field GF(2**61 - 1)."""
-    global _DEFAULT_FIELD
-    if _DEFAULT_FIELD is None:
-        _DEFAULT_FIELD = GF(DEFAULT_PRIME, check_prime=False)
-    return _DEFAULT_FIELD
+    """Process-wide default field GF(2**61 - 1).
+
+    GF instances are interned per modulus, so this always returns the same
+    object without a separate memo.
+    """
+    return GF(DEFAULT_PRIME, check_prime=False)

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.circuits.circuit import Circuit
+from repro.field.array import set_batch_enabled
 from repro.field.gf import GF, FieldElement
 from repro.mpc.protocol import CircuitEvaluation
 from repro.sim.adversary import Behavior
@@ -90,11 +91,15 @@ def run_mpc(
     corrupt: Optional[Dict[int, Behavior]] = None,
     max_time: Optional[float] = None,
     max_events: Optional[int] = None,
+    batch: Optional[bool] = None,
 ) -> MPCResult:
     """Run ΠCirEval end-to-end on the simulated network and return the result.
 
     ``inputs`` maps party ids to their private input (parties absent from the
     map input 0).  ``corrupt`` attaches Byzantine behaviours to party ids.
+    ``batch`` pins the batched field-arithmetic fast paths on (True) or off
+    (False -- the scalar reference implementation) for the duration of this
+    run; None keeps the process-wide default (batching on).
     """
     check_parameters(n, ts, ta)
     runner = ProtocolRunner(n, network=network or SynchronousNetwork(), field=field, seed=seed,
@@ -113,5 +118,10 @@ def run_mpc(
             anchor=0.0,
         )
 
-    run = runner.run(factory, max_time=max_time, max_events=max_events)
+    previous = set_batch_enabled(batch) if batch is not None else None
+    try:
+        run = runner.run(factory, max_time=max_time, max_events=max_events)
+    finally:
+        if batch is not None:
+            set_batch_enabled(previous)
     return MPCResult(run, circuit, runner.field)

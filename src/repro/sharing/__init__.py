@@ -1,4 +1,10 @@
-"""Secret sharing: Shamir d-sharings, ΠWPS and ΠVSS."""
+"""Secret sharing: Shamir d-sharings, ΠWPS and ΠVSS.
+
+Batch API: ``batch_share`` / ``batch_reconstruct`` / ``batch_robust_reconstruct``
+encode and decode many secrets against one cached coefficient matrix (see
+:mod:`repro.sharing.shamir` and :mod:`repro.field.array`); the scalar helpers
+remain the equivalence-tested reference paths.
+"""
 
 from repro.sharing.shamir import (
     share_secret,
@@ -6,6 +12,10 @@ from repro.sharing.shamir import (
     reconstruct_secret,
     robust_reconstruct,
     SharedValue,
+    batch_share,
+    batch_reconstruct,
+    batch_robust_reconstruct,
+    BatchReconstructionError,
 )
 from repro.sharing.wps import WeakPolynomialSharing, wps_time_bound
 from repro.sharing.vss import VerifiableSecretSharing, vss_time_bound
@@ -16,6 +26,10 @@ __all__ = [
     "reconstruct_secret",
     "robust_reconstruct",
     "SharedValue",
+    "batch_share",
+    "batch_reconstruct",
+    "batch_robust_reconstruct",
+    "BatchReconstructionError",
     "WeakPolynomialSharing",
     "wps_time_bound",
     "VerifiableSecretSharing",

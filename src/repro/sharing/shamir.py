@@ -5,14 +5,23 @@ and every honest party P_i holds the share f(alpha_i).  These helpers create
 and reconstruct such sharings directly; the protocols (VSS, preprocessing,
 circuit evaluation) generate them interactively, but unit tests and the
 higher layers' local computations rely on this module.
+
+Batch API: :func:`batch_share` encodes many secrets against one cached
+Vandermonde matrix (one dot product per share instead of a Horner loop of
+boxed FieldElements), :func:`batch_reconstruct` recovers many secrets with
+one cached Lagrange row, and :func:`batch_robust_reconstruct` runs
+error-corrected reconstruction for a whole batch through
+:func:`~repro.codes.reed_solomon.rs_decode_batch`.  The scalar helpers above
+them are the reference twins the equivalence tests compare against.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.codes.reed_solomon import rs_decode
+from repro.codes.reed_solomon import rs_decode, rs_decode_batch
+from repro.field.array import FieldArray, dot_mod, lagrange_row, vandermonde_matrix
 from repro.field.gf import GF, FieldElement
 from repro.field.polynomial import Polynomial, interpolate_at, lagrange_interpolate
 
@@ -93,3 +102,121 @@ def robust_reconstruct(
     if poly is None:
         return None
     return poly.constant_term()
+
+
+# -- batch paths ---------------------------------------------------------------
+
+
+class BatchReconstructionError(ValueError):
+    """Raised when a batched robust reconstruction cannot decode some values.
+
+    Carries the indices of the failed values so callers can tell a complete
+    failure from a partially corrupted batch.
+    """
+
+    def __init__(self, failed_indices: Sequence[int]):
+        self.failed_indices = list(failed_indices)
+        super().__init__(
+            f"batch reconstruction failed for value indices {self.failed_indices}"
+        )
+
+
+def batch_share(
+    field: GF,
+    secrets: Sequence,
+    degree: int,
+    n: int,
+    rng: Optional[random.Random] = None,
+) -> Dict[int, FieldArray]:
+    """d-share many secrets at once; returns party id -> its share vector.
+
+    All sharing polynomials are evaluated against one cached Vandermonde
+    matrix over alpha_1..alpha_n, so each share costs a single int dot
+    product.  ``batch_share(...)[i][k]`` is P_i's share of ``secrets[k]``,
+    element-wise equivalent to ``share_secret(field, secrets[k], ...)``
+    (up to the sharing polynomials' randomness).
+    """
+    p = field.modulus
+    rng = rng or random
+    coeff_rows = [
+        [int(secret) % p] + [rng.randrange(p) for _ in range(degree)]
+        for secret in secrets
+    ]
+    alphas = [int(field.alpha(i)) for i in range(1, n + 1)]
+    matrix = vandermonde_matrix(field, alphas, degree)
+    shares: Dict[int, FieldArray] = {}
+    for party_index, v_row in enumerate(matrix, start=1):
+        shares[party_index] = FieldArray(
+            field, [dot_mod(v_row, coeffs, p) for coeffs in coeff_rows], _normalized=True
+        )
+    return shares
+
+
+def batch_reconstruct(
+    field: GF,
+    shares: Mapping[int, Sequence],
+    degree: int,
+) -> List[FieldElement]:
+    """Reconstruct many secrets with one cached Lagrange row.
+
+    ``shares`` maps party ids to their share vectors (FieldArray or
+    sequences of FieldElements/ints), all of equal length; like the scalar
+    :func:`reconstruct_secret`, the first ``degree + 1`` parties in mapping
+    order are used and every share is assumed correct.
+    """
+    items = list(shares.items())
+    if len(items) < degree + 1:
+        raise ValueError("not enough shares to reconstruct")
+    items = items[: degree + 1]
+    lengths = {len(vector) for _, vector in items}
+    if len(lengths) > 1:
+        raise ValueError("all parties must contribute equally long share vectors")
+    p = field.modulus
+    alphas = [int(field.alpha(i)) for i, _ in items]
+    row = lagrange_row(field, alphas, 0)
+    vectors = [
+        vector.values if isinstance(vector, FieldArray) else [int(v) % p for v in vector]
+        for _, vector in items
+    ]
+    count = lengths.pop() if lengths else 0
+    return [
+        FieldElement(
+            sum(coeff * vector[k] for coeff, vector in zip(row, vectors)) % p, field
+        )
+        for k in range(count)
+    ]
+
+
+def batch_robust_reconstruct(
+    field: GF,
+    shares: Mapping[int, Sequence],
+    degree: int,
+    max_faults: int,
+) -> List[FieldElement]:
+    """Error-corrected batch reconstruction; loud on failure.
+
+    Tolerates up to ``max_faults`` corrupted parties (each possibly garbling
+    its whole share vector).  Unlike the scalar :func:`robust_reconstruct`,
+    which returns None per value, a batch that cannot be fully decoded
+    raises :class:`BatchReconstructionError` naming the failed indices --
+    silent partial output would let a caller keep computing on garbage.
+    """
+    items = list(shares.items())
+    if not items:
+        raise BatchReconstructionError([])
+    lengths = {len(vector) for _, vector in items}
+    if len(lengths) > 1:
+        raise ValueError("all parties must contribute equally long share vectors")
+    count = lengths.pop()
+    p = field.modulus
+    alphas = [int(field.alpha(i)) for i, _ in items]
+    vectors = [
+        vector.values if isinstance(vector, FieldArray) else [int(v) % p for v in vector]
+        for _, vector in items
+    ]
+    rows = [[vector[k] for vector in vectors] for k in range(count)]
+    decoded = rs_decode_batch(field, alphas, rows, degree, max_faults)
+    failed = [index for index, poly in enumerate(decoded) if poly is None]
+    if failed:
+        raise BatchReconstructionError(failed)
+    return [poly.constant_term() for poly in decoded]  # type: ignore[union-attr]

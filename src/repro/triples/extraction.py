@@ -14,7 +14,11 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.field.gf import FieldElement
 from repro.sim.party import Party, ProtocolInstance
-from repro.triples.transform import TripleTransformation, TripleShares, extend_shares
+from repro.triples.transform import (
+    TripleTransformation,
+    TripleShares,
+    extend_shares_batch,
+)
 
 
 class TripleExtraction(ProtocolInstance):
@@ -63,12 +67,12 @@ class TripleExtraction(ProtocolInstance):
         x_shares = [triple[0] for triple in transformed]
         y_shares = [triple[1] for triple in transformed]
         z_shares = [triple[2] for triple in transformed]
-        outputs: List[TripleShares] = []
         count = self.d + 1 - self.ts
-        for j in range(1, count + 1):
-            beta = self.field.beta(j)
-            a_share = extend_shares(self.field, x_shares, self.d, beta)
-            b_share = extend_shares(self.field, y_shares, self.d, beta)
-            c_share = extend_shares(self.field, z_shares, 2 * self.d, beta)
-            outputs.append((a_share, b_share, c_share))
+        betas = [self.field.beta(j) for j in range(1, count + 1)]
+        # One cached Lagrange matrix per degree evaluates every beta at once.
+        a_row, b_row = extend_shares_batch(
+            self.field, [x_shares, y_shares], self.d, betas
+        )
+        (c_row,) = extend_shares_batch(self.field, [z_shares], 2 * self.d, betas)
+        outputs: List[TripleShares] = list(zip(a_row, b_row, c_row))
         self.set_output(outputs)

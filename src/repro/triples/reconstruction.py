@@ -4,13 +4,21 @@ Several protocols (ΠBeaver, the suspected-triple checks of ΠTripSh, and the
 output phase of ΠCirEval) publicly reconstruct shared values by having every
 party send its shares to everyone and applying OEC(t_s, t_s, P) on the
 received shares.  This instance batches any number of values.
+
+When batching is enabled (the default, see
+:func:`repro.field.array.batch_enabled`) one
+:class:`~repro.codes.oec.BatchOnlineErrorCorrector` decodes all values per
+incoming share vector, amortizing the interpolation matrices across the
+batch; otherwise the original per-value scalar correctors run as the
+reference path.  Both produce identical outputs.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.codes.oec import OnlineErrorCorrector
+from repro.codes.oec import BatchOnlineErrorCorrector, OnlineErrorCorrector
+from repro.field.array import batch_enabled
 from repro.field.gf import FieldElement
 from repro.sim.party import Party, ProtocolInstance
 
@@ -36,11 +44,13 @@ class PublicReconstruction(ProtocolInstance):
         self.faults = faults
         self.shares = list(shares) if shares is not None else None
         self._correctors: Optional[List[OnlineErrorCorrector]] = None
+        self._batch: Optional[BatchOnlineErrorCorrector] = None
+        self._begun = False
         self._buffer: Dict[int, Sequence] = {}
 
     def provide_input(self, shares: Sequence[FieldElement]) -> None:
         self.shares = list(shares)
-        if self._correctors is None and self.has_started:
+        if not self._begun and self.has_started:
             self._begin()
 
     has_started = False
@@ -51,11 +61,18 @@ class PublicReconstruction(ProtocolInstance):
             self._begin()
 
     def _begin(self) -> None:
-        if self._correctors is not None or self.shares is None:
+        if self._begun or self.shares is None:
             return
-        self._correctors = [
-            OnlineErrorCorrector(self.field, self.degree, self.faults) for _ in self.shares
-        ]
+        self._begun = True
+        if batch_enabled():
+            self._batch = BatchOnlineErrorCorrector(
+                self.field, len(self.shares), self.degree, self.faults
+            )
+        else:
+            self._correctors = [
+                OnlineErrorCorrector(self.field, self.degree, self.faults)
+                for _ in self.shares
+            ]
         self.send_all(("shares", list(self.shares)))
         for sender, values in list(self._buffer.items()):
             self._absorb(sender, values)
@@ -65,16 +82,26 @@ class PublicReconstruction(ProtocolInstance):
         if payload[0] != "shares":
             return
         values = payload[1]
-        if self._correctors is None:
+        if not self._begun:
             if sender not in self._buffer:
                 self._buffer[sender] = values
             return
         self._absorb(sender, values)
 
     def _absorb(self, sender: int, values: Sequence) -> None:
-        if self._correctors is None or len(values) != len(self._correctors):
+        assert self.shares is not None
+        if len(values) != len(self.shares):
             return
         alpha = self.field.alpha(sender)
+        if self._batch is not None:
+            row = [
+                value if isinstance(value, FieldElement) else None for value in values
+            ]
+            done = self._batch.add_row(alpha, row)
+            if done and not self.has_output:
+                self.set_output(self._batch.secrets())
+            return
+        assert self._correctors is not None
         done = True
         for corrector, value in zip(self._correctors, values):
             if not isinstance(value, FieldElement):

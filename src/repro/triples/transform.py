@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from repro.field.array import batch_enabled, dot_mod, lagrange_matrix, lagrange_row
 from repro.field.gf import GF, FieldElement
 from repro.field.polynomial import lagrange_coefficients
 from repro.sim.party import Party, ProtocolInstance
@@ -33,14 +34,52 @@ def extend_shares(
 
     ``shares[i]`` is this party's share of the value at alpha_{i+1}; the
     Lagrange linear function of the first degree+1 of them yields this
-    party's share of the value at ``at``.
+    party's share of the value at ``at``.  The coefficient row is memoized on
+    ``(field, alphas, at)`` (see :func:`repro.field.array.lagrange_row`), so
+    repeated extensions -- every party extends at the same public points --
+    cost one int dot product each.  With batching disabled the scalar
+    Lagrange reference path runs instead.
     """
-    xs = [field.alpha(i) for i in range(1, degree + 2)]
-    coefficients = lagrange_coefficients(field, xs, at)
-    total = field.zero()
-    for coefficient, share in zip(coefficients, shares[: degree + 1]):
-        total = total + coefficient * share
-    return total
+    alphas = [field.alpha(i) for i in range(1, degree + 2)]
+    if not batch_enabled():
+        coefficients = lagrange_coefficients(field, alphas, at)
+        total = field.zero()
+        for coefficient, share in zip(coefficients, shares[: degree + 1]):
+            total = total + coefficient * share
+        return total
+    row = lagrange_row(field, alphas, int(field(at)))
+    total = dot_mod(row, [int(s) for s in shares[: degree + 1]], field.modulus)
+    return FieldElement(total, field)
+
+
+def extend_shares_batch(
+    field: GF,
+    share_rows: Sequence[Sequence[FieldElement]],
+    degree: int,
+    ats: Sequence[FieldElement],
+) -> List[List[FieldElement]]:
+    """Evaluate many share polynomials at many new points with one matrix.
+
+    ``share_rows[r][i]`` is this party's share of value r at alpha_{i+1};
+    the result's entry [r][j] is its share of value r at ``ats[j]``.
+    Element-wise equivalent to nested :func:`extend_shares` calls (and
+    delegates to them when batching is disabled).
+    """
+    if not batch_enabled():
+        return [
+            [extend_shares(field, shares, degree, at) for at in ats]
+            for shares in share_rows
+        ]
+    alphas = [field.alpha(i) for i in range(1, degree + 2)]
+    matrix = lagrange_matrix(field, alphas, [int(field(at)) for at in ats])
+    p = field.modulus
+    results: List[List[FieldElement]] = []
+    for shares in share_rows:
+        head = [int(s) for s in shares[: degree + 1]]
+        results.append(
+            [FieldElement(dot_mod(row, head, p), field) for row in matrix]
+        )
+    return results
 
 
 class TripleTransformation(ProtocolInstance):

@@ -5,8 +5,8 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.codes.oec import OnlineErrorCorrector, OECStatus
-from repro.codes.reed_solomon import rs_decode, rs_interpolate_with_errors
+from repro.codes.oec import BatchOnlineErrorCorrector, OnlineErrorCorrector, OECStatus
+from repro.codes.reed_solomon import rs_decode, rs_decode_batch, rs_interpolate_with_errors
 from repro.field.gf import default_field
 from repro.field.polynomial import Polynomial
 
@@ -117,6 +117,102 @@ def test_oec_after_done_is_stable():
     # Adding junk afterwards does not change the decoded polynomial.
     oec.add_point(F.alpha(3), F(12345))
     assert oec.polynomial == poly
+
+
+# -- batched decoding / batch OEC ---------------------------------------------
+
+
+def _batch_rows(polys, n, corrupt_parties=(), offset=9):
+    """Per-party rows of evaluations, with whole rows corrupted."""
+    rows = {}
+    for i in range(1, n + 1):
+        row = [poly.evaluate(F.alpha(i)) for poly in polys]
+        if i in corrupt_parties:
+            row = [value + offset for value in row]
+        rows[i] = row
+    return rows
+
+
+@pytest.mark.parametrize("n,t", [(4, 1), (8, 2), (16, 5)])
+def test_batch_oec_recovers_with_exactly_t_corrupt_rows(n, t):
+    rng = random.Random(100 + n)
+    polys = [Polynomial.random(F, t, rng=rng) for _ in range(5)]
+    corrupt = set(range(1, t + 1))  # worst case: corrupt rows arrive first
+    rows = _batch_rows(polys, n, corrupt)
+    oec = BatchOnlineErrorCorrector(F, count=5, degree=t, max_faults=t)
+    for i in range(1, n + 1):
+        oec.add_row(F.alpha(i), rows[i])
+    assert oec.done
+    assert oec.secrets() == [poly.constant_term() for poly in polys]
+    assert oec.values_at(F.alpha(n + 1)) == [
+        poly.evaluate(F.alpha(n + 1)) for poly in polys
+    ]
+
+
+@pytest.mark.parametrize("n,t", [(4, 1), (8, 2), (16, 5)])
+def test_batch_oec_fails_loudly_with_t_plus_1_corrupt_rows(n, t):
+    rng = random.Random(200 + n)
+    polys = [Polynomial.random(F, t, rng=rng) for _ in range(3)]
+    corrupt = set(range(1, t + 2))  # one more corruption than tolerated
+    rows = _batch_rows(polys, n, corrupt)
+    oec = BatchOnlineErrorCorrector(F, count=3, degree=t, max_faults=t)
+    for i in range(1, n + 1):
+        oec.add_row(F.alpha(i), rows[i])
+    assert not oec.done
+    with pytest.raises(ValueError):
+        oec.secrets()
+    with pytest.raises(ValueError):
+        oec.values_at(0)
+
+
+def test_batch_oec_handles_per_column_missing_entries():
+    rng = random.Random(42)
+    polys = [Polynomial.random(F, 1, rng=rng) for _ in range(2)]
+    oec = BatchOnlineErrorCorrector(F, count=2, degree=1, max_faults=1)
+    # Party 1 garbles value 0 (None) but reports value 1 correctly.
+    oec.add_row(F.alpha(1), [None, polys[1].evaluate(F.alpha(1))])
+    for i in range(2, 5):
+        oec.add_row(F.alpha(i), [poly.evaluate(F.alpha(i)) for poly in polys])
+    assert oec.done
+    assert oec.secrets() == [poly.constant_term() for poly in polys]
+
+
+def test_batch_oec_first_report_per_sender_wins():
+    rng = random.Random(43)
+    poly = Polynomial.random(F, 1, rng=rng)
+    oec = BatchOnlineErrorCorrector(F, count=1, degree=1, max_faults=1)
+    oec.add_row(F.alpha(1), [poly.evaluate(F.alpha(1))])
+    oec.add_row(F.alpha(1), [poly.evaluate(F.alpha(1)) + 3])  # conflicting re-send
+    oec.add_row(F.alpha(2), [poly.evaluate(F.alpha(2))])
+    oec.add_row(F.alpha(3), [poly.evaluate(F.alpha(3))])
+    assert oec.done
+    assert oec.secrets() == [poly.constant_term()]
+
+
+def test_batch_oec_empty_batch_is_immediately_done():
+    oec = BatchOnlineErrorCorrector(F, count=0, degree=1, max_faults=1)
+    assert oec.done
+    assert oec.secrets() == []
+
+
+@pytest.mark.parametrize("n,t", [(4, 1), (8, 2), (16, 5)])
+def test_rs_decode_batch_adversarial_rows_match_scalar(n, t):
+    rng = random.Random(300 + n)
+    polys = [Polynomial.random(F, t, rng=rng) for _ in range(4)]
+    xs = list(range(1, n + 1))
+    corrupt = rng.sample(xs, t)
+    rows = []
+    for poly in polys:
+        rows.append(
+            [
+                int(poly.evaluate(x)) + (7 if x in corrupt else 0)
+                for x in xs
+            ]
+        )
+    decoded = rs_decode_batch(F, xs, rows, t, t)
+    for poly, row, got in zip(polys, rows, decoded):
+        assert got == rs_decode(F, list(zip(xs, row)), t, t)
+        assert got == poly
 
 
 @settings(max_examples=30, deadline=None)

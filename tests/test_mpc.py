@@ -94,6 +94,43 @@ def test_sync_multi_output_circuit():
     assert result.outputs == [F(2 * 4 + 3 * 5)]
 
 
+def test_batched_run_matches_scalar_reference_run():
+    """Regression: the batched fast paths never change the protocol outputs.
+
+    The same circuit/seed is run once with batching on and once with the
+    scalar reference paths; outputs, common subsets and message counts must
+    be identical.
+    """
+    from repro.field.array import batch_enabled
+
+    circuit = millionaires_product_circuit(F, 4)
+    inputs = {1: 3, 2: 5, 3: 7, 4: 11}
+    assert batch_enabled()  # batching is the default
+    batched = run_mpc(circuit, inputs, n=4, ts=1, ta=0, seed=9, batch=True)
+    scalar = run_mpc(circuit, inputs, n=4, ts=1, ta=0, seed=9, batch=False)
+    assert batch_enabled()  # the run restores the process-wide default
+    assert batched.completed and scalar.completed
+    assert batched.outputs == scalar.outputs == circuit.evaluate(
+        {pid: F(v) for pid, v in inputs.items()}
+    )
+    assert batched.common_subset == scalar.common_subset
+    assert batched.metrics.messages_sent == scalar.metrics.messages_sent
+
+
+def test_batched_run_matches_scalar_reference_run_with_byzantine_party():
+    circuit = mean_circuit(F, 4)
+    inputs = {1: 8, 2: 16, 3: 24, 4: 32}
+    results = {}
+    for label, batch in (("batch", True), ("scalar", False)):
+        results[label] = run_mpc(
+            circuit, inputs, n=4, ts=1, ta=0, seed=10, batch=batch,
+            corrupt={3: WrongValueBehavior(offset=2)},
+        )
+    assert results["batch"].completed and results["scalar"].completed
+    assert results["batch"].outputs == results["scalar"].outputs
+    assert results["batch"].common_subset == results["scalar"].common_subset
+
+
 @pytest.mark.slow
 def test_async_product_all_honest():
     circuit = multiplication_circuit(F, 4)

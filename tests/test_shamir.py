@@ -7,7 +7,11 @@ from hypothesis import given, settings, strategies as st
 
 from repro.field.gf import default_field
 from repro.sharing.shamir import (
+    BatchReconstructionError,
     SharedValue,
+    batch_reconstruct,
+    batch_robust_reconstruct,
+    batch_share,
     reconstruct_secret,
     robust_reconstruct,
     share_polynomial,
@@ -93,3 +97,77 @@ def test_property_share_reconstruct_roundtrip(secret, degree, seed):
     sharing = share_secret(F, secret, degree=degree, n=n, rng=random.Random(seed))
     assert sharing.reconstruct() == F(secret)
     assert robust_reconstruct(F, sharing.shares, degree, max_faults=degree + 1) == F(secret)
+
+
+# -- batched sharing / reconstruction -----------------------------------------
+
+
+def _corrupt_rows(shares, parties, offset=13):
+    """Return per-party share vectors with whole rows perturbed."""
+    out = {}
+    for party, vector in shares.items():
+        elements = vector.to_elements()
+        if party in parties:
+            elements = [value + offset for value in elements]
+        out[party] = elements
+    return out
+
+
+def test_batch_share_matches_scalar_reconstruction():
+    secrets = [3, 5, 7, 11]
+    shares = batch_share(F, secrets, degree=2, n=7, rng=random.Random(21))
+    for k, secret in enumerate(secrets):
+        per_value = {i: shares[i][k] for i in shares}
+        assert reconstruct_secret(F, per_value, 2) == F(secret)
+    assert [int(v) for v in batch_reconstruct(F, shares, 2)] == secrets
+
+
+def test_batch_reconstruct_requires_enough_parties():
+    shares = batch_share(F, [1, 2], degree=3, n=6, rng=random.Random(22))
+    partial = {i: shares[i] for i in (1, 2, 3)}
+    with pytest.raises(ValueError):
+        batch_reconstruct(F, partial, 3)
+
+
+@pytest.mark.parametrize("n,t", [(4, 1), (8, 2), (16, 5)])
+def test_batch_robust_reconstruct_with_exactly_t_corrupt_rows(n, t):
+    rng = random.Random(400 + n)
+    secrets = [rng.randrange(F.modulus) for _ in range(6)]
+    shares = batch_share(F, secrets, degree=t, n=n, rng=rng)
+    # Worst case for the optimistic decoder: corruptions in the leading rows.
+    corrupted = _corrupt_rows(shares, set(range(1, t + 1)))
+    recovered = batch_robust_reconstruct(F, corrupted, degree=t, max_faults=t)
+    assert [int(v) for v in recovered] == secrets
+    # Scalar twin agrees value-by-value.
+    for k, secret in enumerate(secrets):
+        per_value = {i: corrupted[i][k] for i in corrupted}
+        assert robust_reconstruct(F, per_value, t, t) == F(secret)
+
+
+@pytest.mark.parametrize("n,t", [(4, 1), (8, 2), (16, 5)])
+def test_batch_robust_reconstruct_fails_loudly_at_t_plus_1_corrupt_rows(n, t):
+    rng = random.Random(500 + n)
+    secrets = [rng.randrange(F.modulus) for _ in range(4)]
+    shares = batch_share(F, secrets, degree=t, n=n, rng=rng)
+    corrupted = _corrupt_rows(shares, set(range(1, t + 2)))
+    with pytest.raises(BatchReconstructionError) as excinfo:
+        batch_robust_reconstruct(F, corrupted, degree=t, max_faults=t)
+    assert excinfo.value.failed_indices == list(range(4))
+
+
+def test_batch_robust_reconstruct_empty_input_is_loud():
+    with pytest.raises(BatchReconstructionError):
+        batch_robust_reconstruct(F, {}, degree=1, max_faults=1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(degree=st.integers(0, 3), seed=st.integers(0, 2 ** 31), count=st.integers(1, 6))
+def test_property_batch_robust_roundtrip_with_random_corruptions(degree, seed, count):
+    rng = random.Random(seed)
+    n = 3 * degree + 1 if degree else 3
+    secrets = [rng.randrange(F.modulus) for _ in range(count)]
+    shares = batch_share(F, secrets, degree=degree, n=n, rng=rng)
+    corrupt = set(rng.sample(range(1, n + 1), degree))
+    corrupted = _corrupt_rows(shares, corrupt, offset=rng.randrange(1, 1000))
+    recovered = batch_robust_reconstruct(F, corrupted, degree, max_faults=degree)
+    assert [int(v) for v in recovered] == secrets
