@@ -58,3 +58,11 @@ def test_ba_scenarios(benchmark, scenario):
     benchmark.extra_info.update(stats)
     assert stats["consistent"] == 1.0
     assert stats["valid"] == 1.0
+
+
+def smoke():
+    """Tiny-size rot check used by the bench_smoke tier-1 marker."""
+    result = _run_ba(4, 1, {i: 1 for i in range(1, 5)}, SynchronousNetwork())
+    outputs = result.honest_outputs()
+    assert len(outputs) == 4 and set(outputs.values()) == {1}
+    return summarize(result)

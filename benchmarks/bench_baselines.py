@@ -88,3 +88,14 @@ def test_ampc_drops_honest_inputs_bobw_does_not(benchmark):
     )
     assert bobw_all_inputs
     assert bobw.outputs == [F(10)]
+
+
+def smoke():
+    """Tiny-size rot check used by the bench_smoke tier-1 marker."""
+    circuit = multiplication_circuit(F, 4)
+    result = run_synchronous_baseline(circuit, INPUTS4, n=4, faults=1,
+                                      network=SynchronousNetwork())
+    expected = circuit.evaluate({i: F(v) for i, v in INPUTS4.items()})
+    outputs = list(result.honest_outputs().values())
+    assert outputs and all(out == expected for out in outputs)
+    return {"honest_outputs": len(outputs)}

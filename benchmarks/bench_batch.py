@@ -35,7 +35,7 @@ from repro.sharing.shamir import (
     robust_reconstruct,
 )
 
-from bench_common import FIELD
+from bench_common import FIELD, record_bench
 
 
 def _best_of(callable_, repeats: int = 3) -> float:
@@ -161,26 +161,37 @@ def measure_oec_speedup(
 def test_batch_reconstruct_is_5x_faster():
     """Acceptance: 256 secrets at n=16, t=5, batch >= 5x faster than scalar."""
     stats = measure_reconstruct_speedup(num_secrets=256, n=16, degree=5)
+    record_bench("batch", "reconstruct_256_n16_t5", stats)
     assert stats["speedup"] >= 5.0, f"speedup only {stats['speedup']:.1f}x"
 
 
 def test_batch_robust_reconstruct_faster_with_corruptions():
     stats = measure_robust_speedup(num_secrets=64, n=16, degree=5, faults=5)
+    record_bench("batch", "robust_reconstruct_64_n16_t5", stats)
     assert stats["speedup"] >= 2.0, f"speedup only {stats['speedup']:.1f}x"
 
 
 def test_batch_oec_faster():
     stats = measure_oec_speedup(num_values=64, n=16, degree=5, faults=5)
+    record_bench("batch", "oec_64_n16_t5", stats)
     assert stats["speedup"] >= 2.0, f"speedup only {stats['speedup']:.1f}x"
 
 
+def smoke():
+    """Tiny-size rot check used by the bench_smoke tier-1 marker."""
+    stats = measure_reconstruct_speedup(num_secrets=16, n=8, degree=2, repeats=1)
+    assert stats["batch_s"] > 0
+    return stats
+
+
 if __name__ == "__main__":
-    for name, fn in (
-        ("batch_reconstruct  (256 secrets, n=16, t=5)", measure_reconstruct_speedup),
-        ("batch_robust       ( 64 secrets, n=16, t=5, 5 corrupt)", measure_robust_speedup),
-        ("batch_oec          ( 64 values,  n=16, t=5)", measure_oec_speedup),
+    for key, name, fn in (
+        ("reconstruct_256_n16_t5", "batch_reconstruct  (256 secrets, n=16, t=5)", measure_reconstruct_speedup),
+        ("robust_reconstruct_64_n16_t5", "batch_robust       ( 64 secrets, n=16, t=5, 5 corrupt)", measure_robust_speedup),
+        ("oec_64_n16_t5", "batch_oec          ( 64 values,  n=16, t=5)", measure_oec_speedup),
     ):
         stats = fn()
+        record_bench("batch", key, stats)
         print(
             f"{name}: scalar {stats['scalar_s'] * 1e3:8.2f} ms"
             f"  batch {stats['batch_s'] * 1e3:8.2f} ms"

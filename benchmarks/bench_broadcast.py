@@ -72,3 +72,10 @@ def test_bc_asynchronous(benchmark, n, t):
     stats = summarize(result)
     benchmark.extra_info.update(stats)
     assert stats["honest_outputs"] == n
+
+
+def smoke():
+    """Tiny-size rot check used by the bench_smoke tier-1 marker."""
+    result = _run_bc(4, 1, SynchronousNetwork())
+    assert len(result.honest_outputs()) == 4
+    return summarize(result)

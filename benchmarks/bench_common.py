@@ -2,14 +2,21 @@
 
 from __future__ import annotations
 
+import json
+import os
 import random
-from typing import Dict, Optional
+import time
+from typing import Dict, Mapping, Optional
 
 from repro.field import Polynomial, default_field
 from repro.sim import ProtocolRunner, SynchronousNetwork
 from repro.sim.network import NetworkModel
 
 FIELD = default_field()
+
+#: Repo root -- BENCH_<name>.json files land next to ROADMAP.md so the perf
+#: trajectory is tracked (and diffed) across PRs.
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def fresh_polynomials(count: int, degree: int, seed: int):
@@ -32,3 +39,34 @@ def summarize(result) -> Dict[str, float]:
         "honest_bits": float(result.metrics.honest_bits),
         "total_bits": float(result.metrics.total_bits),
     }
+
+
+def bench_json_path(name: str) -> str:
+    """Where BENCH_<name>.json lives (the repo root)."""
+    return os.path.join(_ROOT, f"BENCH_{name}.json")
+
+
+def record_bench(name: str, key: str, payload: Mapping) -> str:
+    """Persist one measurement row into BENCH_<name>.json.
+
+    ``key`` identifies the measurement (include the parameters, e.g.
+    ``"wps_dealer_verify_n16"``) so repeated runs update their own row
+    instead of clobbering others.  Existing rows from earlier runs/PRs are
+    kept, which is what makes the JSON a perf trajectory rather than a
+    single snapshot.  Returns the file path.
+    """
+    path = bench_json_path(name)
+    data: Dict = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (ValueError, OSError):
+            data = {}
+    entry = {k: v for k, v in payload.items()}
+    entry["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+    data[key] = entry
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

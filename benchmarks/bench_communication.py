@@ -67,3 +67,10 @@ def test_communication_scaling(benchmark, label, measure, paper_exponent):
     # The measured exponent should be in the right ballpark: clearly
     # super-linear, and not wildly above the paper's asymptotic exponent.
     assert 1.5 <= exponent <= paper_exponent + 1.5
+
+
+def smoke():
+    """Tiny-size rot check used by the bench_smoke tier-1 marker."""
+    bits = _bits_for_bc(4, 1)
+    assert bits > 0
+    return {"bc_bits_n4": bits}

@@ -129,3 +129,12 @@ def test_mpc_product_async(benchmark):
     )
     assert result.agreed
     assert result.outputs == expected
+
+
+def smoke():
+    """Tiny-size rot check used by the bench_smoke tier-1 marker."""
+    circuit = multiplication_circuit(F, 4)
+    inputs = {1: 3, 2: 5, 3: 7, 4: 11}
+    result = run_mpc(circuit, inputs, n=4, ts=1, ta=0, seed=1)
+    assert result.outputs == circuit.evaluate({i: F(v) for i, v in inputs.items()})
+    return {"max_output_time": max(result.output_times.values())}

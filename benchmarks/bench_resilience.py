@@ -137,3 +137,13 @@ def test_ampc_baseline_lower_threshold_and_dropped_inputs(benchmark):
         }
     )
     assert all(out == [F(100)] for out in outputs)
+
+
+def smoke():
+    """Tiny-size rot check used by the bench_smoke tier-1 marker."""
+    assert (max_ts(8), max_ta_bobw(8, max_ts(8)), max_t_ampc(8)) == (2, 1, 1)
+    circuit = mean_circuit(F, 4)
+    result = run_mpc(circuit, {1: 1, 2: 2, 3: 3, 4: 4}, n=4, ts=1, ta=0, seed=1,
+                     corrupt={4: CrashBehavior()})
+    assert result.completed and result.agreed
+    return {"outputs": [int(v) for v in result.outputs]}

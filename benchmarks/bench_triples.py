@@ -91,3 +91,15 @@ def test_preprocessing_with_byzantine_dealer(benchmark):
     stats["triples_valid"] = float(_triples_valid(result, ts))
     benchmark.extra_info.update(stats)
     assert stats["triples_valid"] == 1.0
+
+
+def smoke():
+    """Tiny-size rot check used by the bench_smoke tier-1 marker."""
+    runner = make_runner(4, network=SynchronousNetwork(), seed=1)
+    result = runner.run(
+        lambda party: TripleSharing(party, "tripsh", dealer=1, ts=1, ta=0,
+                                    num_triples=1, anchor=0.0),
+        max_time=500_000.0,
+    )
+    assert _triples_valid(result, 1)
+    return summarize(result)

@@ -14,8 +14,18 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 # The tier-1 suite runs a quick smoke of the batch benchmarks (see
-# tests/test_field_array.py), so the benchmarks package must be importable
-# from the tests no matter how pytest was invoked.
+# tests/test_field_array.py and tests/test_bench_smoke.py), so the
+# benchmarks package must be importable from the tests no matter how pytest
+# was invoked.
 _BENCH = os.path.join(_ROOT, "benchmarks")
 if os.path.isdir(_BENCH) and _BENCH not in sys.path:
     sys.path.append(_BENCH)
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running test")
+    config.addinivalue_line(
+        "markers",
+        "bench_smoke: tiny-size smoke of a benchmarks/bench_*.py module, run "
+        "under tier-1 so the benchmark suite cannot silently rot",
+    )

@@ -20,14 +20,27 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.circuits.circuit import Circuit, GateType
-from repro.codes.oec import OnlineErrorCorrector
+from repro.codes.oec import BatchOnlineErrorCorrector, OnlineErrorCorrector
+from repro.field.array import batch_enabled
 from repro.field.gf import FieldElement
 from repro.field.polynomial import Polynomial
+from repro.sharing.shamir import batch_share_at_alphas
 from repro.sim.adversary import Behavior
 from repro.sim.network import AsynchronousNetwork, NetworkModel
 from repro.sim.party import Party, ProtocolInstance
 from repro.sim.runner import ProtocolRunner, RunResult
 from repro.baselines.dealer import TrustedTripleDealer
+
+
+def _normalize_row(values, count: int) -> List[Optional[FieldElement]]:
+    """Shape one sender's value list for a batch corrector row.
+
+    Mirrors the scalar receive path: non-field entries contribute no point
+    (None), short rows leave the tail positions waiting, extra positions
+    beyond the expected count are dropped.
+    """
+    row = [v if isinstance(v, FieldElement) else None for v in values[:count]]
+    return row + [None] * (count - len(row))
 
 
 class AsynchronousMPC(ProtocolInstance):
@@ -61,14 +74,17 @@ class AsynchronousMPC(ProtocolInstance):
         self._input_oec: Dict[int, FieldElement] = {}
         self._expected_inputs: List[int] = []
         self._opening_oec: Dict[Tuple[int, int], OnlineErrorCorrector] = {}
+        self._opening_batch: Dict[int, BatchOnlineErrorCorrector] = {}
         self._output_oec: List[OnlineErrorCorrector] = []
+        self._output_batch: Optional[BatchOnlineErrorCorrector] = None
         self._used_triples = 0
         self._current_layer = -1
-        self._layers: List[List[int]] = []
+        # Layers are derived deterministically from the circuit; computing
+        # them up front lets early "open" messages size the batch correctors.
+        self._layers: List[List[int]] = circuit.multiplication_layers()
 
     # -- lifecycle -----------------------------------------------------------------------
     def start(self) -> None:
-        self._layers = self.circuit.multiplication_layers()
         self._expected_inputs = [
             gate.index
             for gate in self.circuit.input_gates
@@ -85,6 +101,11 @@ class AsynchronousMPC(ProtocolInstance):
             value = self.my_inputs[cursor] if cursor < len(self.my_inputs) else 0
             cursor += 1
             if self.me not in self.core_set:
+                continue
+            if batch_enabled():
+                shares = batch_share_at_alphas(self.field, value, self.faults, self.n, self.rng)
+                for j in self.party.all_party_ids():
+                    self.send(j, ("input", gate.index, shares[j - 1]))
                 continue
             polynomial = Polynomial.random(self.field, self.faults, constant_term=value, rng=self.rng)
             for j in self.party.all_party_ids():
@@ -135,29 +156,52 @@ class AsynchronousMPC(ProtocolInstance):
             a_share, b_share, _c = self.triples[self._used_triples + offset]
             masked.append(x_share - a_share)
             masked.append(y_share - b_share)
-        for position in range(len(masked)):
+        if batch_enabled():
             # Openings from faster parties may already have arrived (and
             # created the corrector) before we entered this layer.
-            self._opening_oec.setdefault(
-                (layer_index, position),
-                OnlineErrorCorrector(self.field, self.faults, self.faults),
-            )
+            self._opening_corrector(layer_index)
+        else:
+            for position in range(len(masked)):
+                self._opening_oec.setdefault(
+                    (layer_index, position),
+                    OnlineErrorCorrector(self.field, self.faults, self.faults),
+                )
         self.send_all(("open", layer_index, masked))
         self._maybe_finish_layer(layer_index)
+
+    def _opening_corrector(self, layer_index: int) -> Optional[BatchOnlineErrorCorrector]:
+        """The batch corrector decoding all 2L openings of one layer together."""
+        if not isinstance(layer_index, int) or not (0 <= layer_index < len(self._layers)):
+            return None
+        corrector = self._opening_batch.get(layer_index)
+        if corrector is None:
+            corrector = BatchOnlineErrorCorrector(
+                self.field, 2 * len(self._layers[layer_index]), self.faults, self.faults
+            )
+            self._opening_batch[layer_index] = corrector
+        return corrector
 
     def _maybe_finish_layer(self, layer_index: int) -> None:
         if layer_index != self._current_layer:
             return
         gates = self._layers[layer_index]
-        correctors = [
-            self._opening_oec.get((layer_index, position))
-            for position in range(2 * len(gates))
-        ]
-        if not all(corrector is not None and corrector.done for corrector in correctors):
-            return
+        if batch_enabled():
+            corrector = self._opening_batch.get(layer_index)
+            if corrector is None or not corrector.done:
+                return
+            secrets = corrector.secrets()
+            openings = lambda position: secrets[position]
+        else:
+            correctors = [
+                self._opening_oec.get((layer_index, position))
+                for position in range(2 * len(gates))
+            ]
+            if not all(corrector is not None and corrector.done for corrector in correctors):
+                return
+            openings = lambda position: correctors[position].secret()
         for position, gate_index in enumerate(gates):
-            e_value = correctors[2 * position].secret()
-            d_value = correctors[2 * position + 1].secret()
+            e_value = openings(2 * position)
+            d_value = openings(2 * position + 1)
             a_share, b_share, c_share = self.triples[self._used_triples]
             self._used_triples += 1
             self._wire_shares[gate_index] = (
@@ -166,10 +210,19 @@ class AsynchronousMPC(ProtocolInstance):
         self._advance_layers(layer_index + 1)
 
     # -- output ------------------------------------------------------------------------------------
+    def _output_corrector(self) -> BatchOnlineErrorCorrector:
+        if self._output_batch is None:
+            self._output_batch = BatchOnlineErrorCorrector(
+                self.field, len(self.circuit.outputs), self.faults, self.faults
+            )
+        return self._output_batch
+
     def _begin_output(self) -> None:
         self._evaluate_linear()
         shares = [self._wire_shares.get(w, self.field.zero()) for w in self.circuit.outputs]
-        if not self._output_oec:
+        if batch_enabled():
+            self._output_corrector()
+        elif not self._output_oec:
             self._output_oec = [
                 OnlineErrorCorrector(self.field, self.faults, self.faults) for _ in shares
             ]
@@ -177,7 +230,14 @@ class AsynchronousMPC(ProtocolInstance):
         self._maybe_finish_output()
 
     def _maybe_finish_output(self) -> None:
-        if not self._output_oec or self.has_output:
+        if self.has_output:
+            return
+        if self._output_batch is not None:
+            # A zero-output circuit never produces output (as in scalar mode).
+            if self._output_batch.count and self._output_batch.done:
+                self.set_output(self._output_batch.secrets())
+            return
+        if not self._output_oec:
             return
         if all(corrector.done for corrector in self._output_oec):
             self.set_output([corrector.secret() for corrector in self._output_oec])
@@ -193,24 +253,40 @@ class AsynchronousMPC(ProtocolInstance):
                 self._maybe_start_evaluation()
         elif kind == "open":
             layer_index, values = payload[1], payload[2]
-            for position, value in enumerate(values):
-                corrector = self._opening_oec.get((layer_index, position))
-                if corrector is None:
-                    corrector = OnlineErrorCorrector(self.field, self.faults, self.faults)
-                    self._opening_oec[(layer_index, position)] = corrector
-                if isinstance(value, FieldElement):
-                    corrector.add_point(self.field.alpha(sender), value)
+            if batch_enabled():
+                corrector = self._opening_corrector(layer_index)
+                if corrector is not None:
+                    corrector.add_row(
+                        self.field.alpha(sender), _normalize_row(values, corrector.count)
+                    )
+            else:
+                for position, value in enumerate(values):
+                    scalar = self._opening_oec.get((layer_index, position))
+                    if scalar is None:
+                        scalar = OnlineErrorCorrector(self.field, self.faults, self.faults)
+                        self._opening_oec[(layer_index, position)] = scalar
+                    if isinstance(value, FieldElement):
+                        scalar.add_point(self.field.alpha(sender), value)
             self._maybe_finish_layer(layer_index)
         elif kind == "output":
             values = payload[1]
-            if not self._output_oec:
-                # Buffer by creating the correctors lazily.
-                self._output_oec = [
-                    OnlineErrorCorrector(self.field, self.faults, self.faults) for _ in values
-                ]
-            for corrector, value in zip(self._output_oec, values):
-                if isinstance(value, FieldElement):
-                    corrector.add_point(self.field.alpha(sender), value)
+            if batch_enabled():
+                corrector = self._output_corrector()
+                corrector.add_row(
+                    self.field.alpha(sender), _normalize_row(values, corrector.count)
+                )
+            else:
+                if not self._output_oec:
+                    # Created lazily, but sized from the circuit (not from the
+                    # sender's list, whose length an adversary controls) so
+                    # both twins reconstruct the same number of outputs.
+                    self._output_oec = [
+                        OnlineErrorCorrector(self.field, self.faults, self.faults)
+                        for _ in self.circuit.outputs
+                    ]
+                for scalar, value in zip(self._output_oec, values):
+                    if isinstance(value, FieldElement):
+                        scalar.add_point(self.field.alpha(sender), value)
             self._maybe_finish_output()
 
 

@@ -18,12 +18,14 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.circuits.circuit import Circuit, GateType
-from repro.codes.reed_solomon import rs_decode
+from repro.codes.reed_solomon import rs_decode, rs_decode_batch
+from repro.field.array import batch_enabled
 from repro.field.gf import FieldElement
 from repro.field.polynomial import Polynomial, interpolate_at
 from repro.sim.adversary import Behavior
 from repro.sim.network import NetworkModel, SynchronousNetwork
 from repro.sim.party import Party, ProtocolInstance
+from repro.sharing.shamir import batch_share_at_alphas
 from repro.sim.runner import ProtocolRunner, RunResult
 from repro.baselines.dealer import TrustedTripleDealer
 
@@ -78,6 +80,11 @@ class SynchronousMPC(ProtocolInstance):
                 continue
             value = self.my_inputs[cursor] if cursor < len(self.my_inputs) else 0
             cursor += 1
+            if batch_enabled():
+                shares = batch_share_at_alphas(self.field, value, self.faults, self.n, self.rng)
+                for j in self.party.all_party_ids():
+                    self.send(j, ("input", gate.index, shares[j - 1]))
+                continue
             polynomial = Polynomial.random(self.field, self.faults, constant_term=value, rng=self.rng)
             for j in self.party.all_party_ids():
                 self.send(j, ("input", gate.index, polynomial.evaluate(self.field.alpha(j))))
@@ -129,16 +136,54 @@ class SynchronousMPC(ProtocolInstance):
 
     def _finish_layer(self, layer_index: int, gates: List[int]) -> None:
         received = self._openings.get(layer_index, {})
+        openings = self._reconstruct_positions(received, 2 * len(gates))
         for position, gate_index in enumerate(gates):
             gate = self.circuit.gates[gate_index]
-            e_value = self._reconstruct_opening(received, 2 * position)
-            d_value = self._reconstruct_opening(received, 2 * position + 1)
+            e_value = openings[2 * position]
+            d_value = openings[2 * position + 1]
             a_share, b_share, c_share = self.triples[self._used_triples]
             self._used_triples += 1
             self._wire_shares[gate_index] = (
                 d_value * e_value + e_value * b_share + d_value * a_share + c_share
             )
         self._begin_next_layer(layer_index + 1)
+
+    def _reconstruct_positions(
+        self, received: Dict[int, List[FieldElement]], count: int
+    ) -> List[FieldElement]:
+        """Robustly open ``count`` positions of one timeout round.
+
+        The batch path groups positions by the set of senders that reported
+        them (normally a single group: every live sender reports every
+        position) and decodes each group through :func:`rs_decode_batch`,
+        so the round costs one cached-matrix product instead of ``count``
+        Gaussian eliminations.
+        """
+        if not batch_enabled():
+            return [
+                self._reconstruct_opening(received, position) for position in range(count)
+            ]
+        per_position: List[List] = []
+        groups: Dict[tuple, List[int]] = {}
+        for position in range(count):
+            points = [
+                (self.field.alpha(sender), values[position])
+                for sender, values in received.items()
+                if position < len(values) and isinstance(values[position], FieldElement)
+            ]
+            per_position.append(points)
+            xs = tuple(int(x) for x, _ in points)
+            groups.setdefault(xs, []).append(position)
+        openings: List[FieldElement] = [self.field.zero()] * count
+        for xs, positions in groups.items():
+            rows = [[int(y) for _, y in per_position[position]] for position in positions]
+            decoded = rs_decode_batch(self.field, xs, rows, self.faults, self.faults)
+            for position, poly in zip(positions, decoded):
+                if poly is not None:
+                    openings[position] = poly.constant_term()
+                else:
+                    openings[position] = self._opening_fallback(per_position[position])
+        return openings
 
     def _reconstruct_opening(self, received: Dict[int, List[FieldElement]], position: int) -> FieldElement:
         points = []
@@ -148,6 +193,9 @@ class SynchronousMPC(ProtocolInstance):
         decoded = rs_decode(self.field, points, self.faults, self.faults)
         if decoded is not None:
             return decoded.constant_term()
+        return self._opening_fallback(points)
+
+    def _opening_fallback(self, points: List) -> FieldElement:
         # Synchrony violated (or too many faults): fall back to naive
         # interpolation of whatever arrived -- this is where the baseline
         # silently computes garbage in an asynchronous network.
@@ -165,20 +213,9 @@ class SynchronousMPC(ProtocolInstance):
         self.schedule_at(self.now + self.delta, self._finish_output_round)
 
     def _finish_output_round(self) -> None:
-        outputs: List[FieldElement] = []
-        for position in range(len(self.circuit.outputs)):
-            points = []
-            for sender, values in self._output_shares.items():
-                if position < len(values) and isinstance(values[position], FieldElement):
-                    points.append((self.field.alpha(sender), values[position]))
-            decoded = rs_decode(self.field, points, self.faults, self.faults)
-            if decoded is not None:
-                outputs.append(decoded.constant_term())
-            elif len(points) >= self.faults + 1:
-                outputs.append(interpolate_at(self.field, points[: self.faults + 1], 0))
-            else:
-                outputs.append(self.field.zero())
-        self.set_output(outputs)
+        self.set_output(
+            self._reconstruct_positions(self._output_shares, len(self.circuit.outputs))
+        )
 
     # -- message handling ---------------------------------------------------------------------
     def receive(self, sender: int, payload: Any) -> None:

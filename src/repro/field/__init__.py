@@ -5,22 +5,49 @@ interpolation, and symmetric bivariate polynomials -- the algebraic
 objects used by every protocol in the paper (Section 2, "Polynomials
 Over a Field").
 
-Batch API: :class:`~repro.field.array.FieldArray` vectorizes field
-arithmetic over plain-int residues (element-wise ops, Montgomery batch
-inversion) and :mod:`repro.field.array` caches Lagrange/Vandermonde
-coefficient matrices keyed by ``(field, eval_points)`` so that repeated
-interpolation against the fixed protocol point sets (party alphas, beta
-extraction points) costs one dot product per value.  The scalar
-``FieldElement``/``Polynomial`` paths remain the reference twins that the
-property-based equivalence tests check the fast paths against.
+Batching architecture (the scalar-twin convention)
+--------------------------------------------------
+
+Every hot algebraic path in the reproduction exists twice:
+
+* a **scalar reference twin** over boxed :class:`FieldElement` /
+  :class:`Polynomial` / :class:`SymmetricBivariatePolynomial` objects.
+  These are the readable, paper-faithful implementations and are never
+  removed or "optimized"; they define correct behaviour.
+* a **batched fast twin** over plain int residues:
+  :class:`~repro.field.array.FieldArray` for element-wise vectors,
+  cached Lagrange/Vandermonde coefficient matrices (keyed by the interned
+  ``GF`` identity and the evaluation-point tuple, so the fixed protocol
+  point sets -- party alphas, beta extraction points -- are paid for
+  once), and :class:`~repro.field.bivariate.BatchSymmetricBivariate` for
+  the WPS/VSS dealer's bivariate embedding, whose row distribution and
+  pairwise consistency grid are single cached-Vandermonde matrix
+  products.
+
+The protocol layers select the twin via the module-level switch
+:func:`~repro.field.array.batch_enabled` /
+:func:`~repro.field.array.set_batch_enabled`.  Two rules keep the twins
+interchangeable:
+
+1. **Value equivalence** -- every fast path must agree element-wise with
+   its scalar twin; ``tests/test_field_array.py`` and
+   ``tests/test_bivariate_batch.py`` check this property-based.
+2. **Randomness equivalence** -- fast paths that draw randomness (e.g.
+   ``BatchSymmetricBivariate.random_embedding``, the baselines' batched
+   input sharing) must consume the caller's ``rng`` in exactly the same
+   order as the scalar twin, so an end-to-end protocol run with one seed
+   is bit-identical in both modes (same messages, same verdicts).  The
+   regression tests toggle ``set_batch_enabled`` around whole protocol
+   runs to prove it.
 """
 
 from repro.field.gf import GF, FieldElement, DEFAULT_PRIME, default_field
 from repro.field.polynomial import Polynomial, lagrange_interpolate, lagrange_coefficients
-from repro.field.bivariate import SymmetricBivariatePolynomial
+from repro.field.bivariate import BatchSymmetricBivariate, SymmetricBivariatePolynomial
 from repro.field.array import (
     FieldArray,
     batch_enabled,
+    batch_evaluate,
     batch_interpolate,
     batch_interpolate_at,
     batch_inverse,
@@ -40,8 +67,10 @@ __all__ = [
     "lagrange_interpolate",
     "lagrange_coefficients",
     "SymmetricBivariatePolynomial",
+    "BatchSymmetricBivariate",
     "FieldArray",
     "batch_enabled",
+    "batch_evaluate",
     "batch_interpolate",
     "batch_interpolate_at",
     "batch_inverse",

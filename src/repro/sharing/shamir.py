@@ -121,6 +121,28 @@ class BatchReconstructionError(ValueError):
         )
 
 
+def batch_share_at_alphas(
+    field: GF,
+    value,
+    degree: int,
+    n: int,
+    rng: random.Random,
+) -> List[FieldElement]:
+    """Shamir-share one value at alpha_1..alpha_n in one cached-matrix product.
+
+    The fast twin of ``Polynomial.random(field, degree, constant_term=value,
+    rng=rng)`` followed by n Horner evaluations: the coefficients are drawn
+    from ``rng`` in exactly the same order as ``Polynomial.random``, so a
+    protocol switching between the twins stays bit-identical.
+    """
+    p = field.modulus
+    coeffs = [rng.randrange(p) for _ in range(degree + 1)]
+    coeffs[0] = int(field(value))
+    alphas = [int(field.alpha(j)) for j in range(1, n + 1)]
+    matrix = vandermonde_matrix(field, alphas, degree)
+    return [FieldElement(dot_mod(v_row, coeffs, p), field) for v_row in matrix]
+
+
 def batch_share(
     field: GF,
     secrets: Sequence,

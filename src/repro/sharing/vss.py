@@ -15,11 +15,22 @@ from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 from repro.ba.aba import aba_nominal_time_bound
 from repro.ba.bobw import BestOfBothWorldsBA
 from repro.broadcast.bc import BroadcastProtocol, bc_time_bound
+from repro.field.array import batch_enabled, batch_interpolate_at
 from repro.field.bivariate import SymmetricBivariatePolynomial
+from repro.field.gf import FieldElement
 from repro.field.polynomial import Polynomial, lagrange_interpolate
 from repro.graph.consistency import ConsistencyGraph
 from repro.graph.star import find_star, verify_star, Star
-from repro.sharing.wps import WeakPolynomialSharing, wps_time_bound, OK_VERDICT, NOK_VERDICT
+from repro.sharing.wps import (
+    NOK_VERDICT,
+    OK_VERDICT,
+    BivariateSharingMixin,
+    WeakPolynomialSharing,
+    make_bivariates,
+    pairwise_nok_conflict,
+    rows_for_all_parties,
+    wps_time_bound,
+)
 from repro.sim.party import Party, ProtocolInstance
 from repro.timing import epsilon, next_multiple_of_delta
 
@@ -31,7 +42,7 @@ def vss_time_bound(n: int, ts: int, delta: float) -> float:
     return delta + wps_time_bound(n, ts, delta) + 2.0 * t_bc + t_ba + 8 * epsilon(delta)
 
 
-class VerifiableSecretSharing(ProtocolInstance):
+class VerifiableSecretSharing(BivariateSharingMixin, ProtocolInstance):
     """One ΠVSS instance for a dealer with L degree-t_s polynomials.
 
     The output of party P_i is the list of its L shares
@@ -80,6 +91,8 @@ class VerifiableSecretSharing(ProtocolInstance):
         self._ba_output: Optional[int] = None
         self._reconstruction_sources: Optional[Set[int]] = None
         self._pending_star2: Optional[Tuple[FrozenSet[int], FrozenSet[int]]] = None
+        self._row_values: Optional[List[List[FieldElement]]] = None
+        self._dealer_grids: Dict[int, List[List[int]]] = {}
 
         # Sub-protocol endpoints.
         self._wps: Dict[int, WeakPolynomialSharing] = {}
@@ -179,12 +192,9 @@ class VerifiableSecretSharing(ProtocolInstance):
     def _dealer_distribute(self) -> None:
         if self._bivariates is not None or self.polynomials is None:
             return
-        self._bivariates = [
-            SymmetricBivariatePolynomial.random_embedding(self.field, poly, rng=self.rng)
-            for poly in self.polynomials
-        ]
-        for j in self.party.all_party_ids():
-            rows = [bivariate.row(self.field.alpha(j)) for bivariate in self._bivariates]
+        self._bivariates = make_bivariates(self.field, self.polynomials, self.rng)
+        ids = self.party.all_party_ids()
+        for j, rows in zip(ids, rows_for_all_parties(self.field, self._bivariates, ids)):
             self.send(j, ("polys", rows))
 
     # -- message handling ------------------------------------------------------------------
@@ -231,9 +241,10 @@ class VerifiableSecretSharing(ProtocolInstance):
     def _broadcast_verdict(self, j: int) -> None:
         assert self.my_rows is not None
         shares = self.wps_shares[j]
+        table = self._my_row_values()
         verdict: Any = (OK_VERDICT,)
-        for index, row in enumerate(self.my_rows):
-            expected = row.evaluate(self.field.alpha(j))
+        for index in range(len(self.my_rows)):
+            expected = table[index][j - 1]
             if index >= len(shares) or shares[index] != expected:
                 verdict = (NOK_VERDICT, index, expected)
                 break
@@ -298,8 +309,7 @@ class VerifiableSecretSharing(ProtocolInstance):
             if not isinstance(index, int) or not (0 <= index < self.num_polynomials):
                 graph.remove_vertex_edges(i)
                 continue
-            expected = self._bivariates[index].evaluate(self.field.alpha(j), self.field.alpha(i))
-            if claimed != expected:
+            if claimed != self._dealer_expected_common_value(index, j, i):
                 graph.remove_vertex_edges(i)
         w_set = graph.iterated_degree_prune(self.n - self.ts)
         if not w_set:
@@ -350,16 +360,8 @@ class VerifiableSecretSharing(ProtocolInstance):
             return False
         if len(w_set) < self.n - self.ts:
             return False
-        for j in w_set:
-            for k in w_set:
-                if j >= k:
-                    continue
-                nok_jk = noks.get((j, k))
-                nok_kj = noks.get((k, j))
-                if nok_jk is None or nok_kj is None:
-                    continue
-                if nok_jk[1] == nok_kj[1] and nok_jk[2] != nok_kj[2]:
-                    return False
+        if pairwise_nok_conflict(noks, w_set):
+            return False
         for j in w_set:
             # A party is always consistent with itself, hence the +1 (the
             # honest parties may number exactly n - t_s).
@@ -432,6 +434,16 @@ class VerifiableSecretSharing(ProtocolInstance):
         if len(support) < self.ts + 1:
             return
         support = support[: self.ts + 1]
+        if batch_enabled():
+            # One cached Lagrange row at 0 recovers every polynomial's secret.
+            alphas = [int(self.field.alpha(j)) for j in support]
+            value_rows = [
+                [int(self.field(self.wps_shares[j][index])) for j in support]
+                for index in range(self.num_polynomials)
+            ]
+            constants = batch_interpolate_at(self.field, alphas, value_rows, 0)
+            self.set_output([FieldElement(v, self.field) for v in constants])
+            return
         outputs = []
         for index in range(self.num_polynomials):
             points = [

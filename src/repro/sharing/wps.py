@@ -17,8 +17,10 @@ from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 from repro.ba.aba import aba_nominal_time_bound
 from repro.ba.bobw import BestOfBothWorldsBA
 from repro.broadcast.bc import BroadcastProtocol, bc_time_bound
-from repro.codes.oec import OnlineErrorCorrector
-from repro.field.bivariate import SymmetricBivariatePolynomial
+from repro.codes.oec import BatchOnlineErrorCorrector, OnlineErrorCorrector
+from repro.field.array import batch_enabled, batch_evaluate
+from repro.field.bivariate import BatchSymmetricBivariate, SymmetricBivariatePolynomial
+from repro.field.gf import FieldElement
 from repro.field.polynomial import Polynomial
 from repro.graph.consistency import ConsistencyGraph
 from repro.graph.star import find_star, verify_star, Star
@@ -29,6 +31,96 @@ OK_VERDICT = "OK"
 NOK_VERDICT = "NOK"
 
 
+def make_bivariates(field, polynomials, rng):
+    """Embed each polynomial into a random symmetric bivariate (Phase I).
+
+    Picks the int-residue :class:`BatchSymmetricBivariate` when batching is
+    enabled and the boxed scalar twin otherwise; both consume ``rng``
+    identically, so the two modes stay bit-for-bit interchangeable.
+    """
+    cls = BatchSymmetricBivariate if batch_enabled() else SymmetricBivariatePolynomial
+    return [cls.random_embedding(field, poly, rng=rng) for poly in polynomials]
+
+
+def rows_for_all_parties(field, bivariates, party_ids):
+    """Per-party row vectors: ``result[index][k]`` is P_{ids[index]}'s k-th row.
+
+    The batch path extracts all n rows of each bivariate through one cached
+    Vandermonde product instead of n boxed row() loops.
+    """
+    if batch_enabled():
+        alphas = [int(field.alpha(j)) for j in party_ids]
+        per_bivariate = [biv.rows_at_all_points(alphas) for biv in bivariates]
+    else:
+        per_bivariate = [
+            [biv.row(field.alpha(j)) for j in party_ids] for biv in bivariates
+        ]
+    return [
+        [rows[index] for rows in per_bivariate] for index in range(len(party_ids))
+    ]
+
+
+def row_value_table(field, rows, party_ids):
+    """``table[k][index]`` = rows[k] evaluated at alpha of ``party_ids[index]``.
+
+    One cached-Vandermonde product over all (row, party) pairs in batch
+    mode; the scalar twin is the original per-point Horner loop.
+    """
+    if batch_enabled():
+        alphas = [int(field.alpha(j)) for j in party_ids]
+        coeff_rows = [[int(c) for c in row.coeffs] for row in rows]
+        table = batch_evaluate(field, coeff_rows, alphas)
+        return [[FieldElement(v, field) for v in values] for values in table]
+    return [[row.evaluate(field.alpha(j)) for j in party_ids] for row in rows]
+
+
+class BivariateSharingMixin:
+    """Batched-bivariate machinery shared by Pi_WPS and Pi_VSS instances.
+
+    Expects the host protocol to maintain ``my_rows``, ``_bivariates``,
+    ``_row_values`` and ``_dealer_grids``.
+    """
+
+    def _my_row_values(self) -> List[List["FieldElement"]]:
+        """My rows evaluated at every party's alpha, computed once per instance."""
+        if self._row_values is None:
+            assert self.my_rows is not None
+            self._row_values = row_value_table(
+                self.field, self.my_rows, self.party.all_party_ids()
+            )
+        return self._row_values
+
+    def _dealer_expected_common_value(self, index: int, j: int, i: int) -> "FieldElement":
+        """Q^(index)(alpha_j, alpha_i) -- via the cached n x n eval_grid in batch mode."""
+        bivariate = self._bivariates[index]
+        if isinstance(bivariate, BatchSymmetricBivariate):
+            grid = self._dealer_grids.get(index)
+            if grid is None:
+                alphas = [int(self.field.alpha(k)) for k in self.party.all_party_ids()]
+                grid = bivariate.eval_grid(alphas, alphas)
+                self._dealer_grids[index] = grid
+            return FieldElement(grid[j - 1][i - 1], self.field)
+        return bivariate.evaluate(self.field.alpha(j), self.field.alpha(i))
+
+
+def pairwise_nok_conflict(noks, w_set) -> bool:
+    """Whether two parties in W published NOKs claiming different common values.
+
+    Iterates over the published NOKs (usually a handful) instead of all
+    |W|^2 ordered pairs, which dominates `_validate_star_triplet` at
+    realistic n.
+    """
+    for (j, k), nok_jk in noks.items():
+        if j >= k or j not in w_set or k not in w_set:
+            continue
+        nok_kj = noks.get((k, j))
+        if nok_kj is None:
+            continue
+        if nok_jk[1] == nok_kj[1] and nok_jk[2] != nok_kj[2]:
+            return True
+    return False
+
+
 def wps_time_bound(n: int, ts: int, delta: float) -> float:
     """T_WPS = 2Δ + 2·T_BC + T_BA (nominal, used for composition anchors)."""
     t_bc = bc_time_bound(n, ts, delta)
@@ -36,7 +128,7 @@ def wps_time_bound(n: int, ts: int, delta: float) -> float:
     return 2.0 * delta + 2.0 * t_bc + t_ba + 8 * epsilon(delta)
 
 
-class WeakPolynomialSharing(ProtocolInstance):
+class WeakPolynomialSharing(BivariateSharingMixin, ProtocolInstance):
     """One ΠWPS instance.
 
     Every party constructs the instance with the same ``tag``, ``dealer``,
@@ -84,8 +176,11 @@ class WeakPolynomialSharing(ProtocolInstance):
         self._ba: Optional[BestOfBothWorldsBA] = None
         self._ba_output: Optional[int] = None
         self._oec: Optional[List[OnlineErrorCorrector]] = None
+        self._batch_oec: Optional[BatchOnlineErrorCorrector] = None
         self._oec_sources: Optional[Set[int]] = None
         self._pending_star2: Optional[Tuple[FrozenSet[int], FrozenSet[int]]] = None
+        self._row_values: Optional[List[List[FieldElement]]] = None
+        self._dealer_grids: Dict[int, List[List[int]]] = {}
 
         # Broadcast endpoints (created in start()).
         self._ok_bc: Dict[Tuple[int, int], BroadcastProtocol] = {}
@@ -168,12 +263,9 @@ class WeakPolynomialSharing(ProtocolInstance):
     def _dealer_distribute(self) -> None:
         if self._bivariates is not None or self.polynomials is None:
             return
-        self._bivariates = [
-            SymmetricBivariatePolynomial.random_embedding(self.field, poly, rng=self.rng)
-            for poly in self.polynomials
-        ]
-        for j in self.party.all_party_ids():
-            rows = [bivariate.row(self.field.alpha(j)) for bivariate in self._bivariates]
+        self._bivariates = make_bivariates(self.field, self.polynomials, self.rng)
+        ids = self.party.all_party_ids()
+        for j, rows in zip(ids, rows_for_all_parties(self.field, self._bivariates, ids)):
             self.send(j, ("polys", rows))
 
     # -- message handling -----------------------------------------------------------------
@@ -207,10 +299,11 @@ class WeakPolynomialSharing(ProtocolInstance):
 
     def _send_points(self) -> None:
         assert self.my_rows is not None
+        table = self._my_row_values()
         for j in self.party.all_party_ids():
             if j == self.me:
                 continue
-            values = [row.evaluate(self.field.alpha(j)) for row in self.my_rows]
+            values = [row_values[j - 1] for row_values in table]
             self.send(j, ("points", values))
 
     # -- Phase III: publish pair-wise consistency results ---------------------------------------
@@ -227,9 +320,10 @@ class WeakPolynomialSharing(ProtocolInstance):
     def _broadcast_verdict(self, j: int) -> None:
         assert self.my_rows is not None
         values = self.received_points[j]
+        table = self._my_row_values()
         verdict: Any = (OK_VERDICT,)
-        for index, row in enumerate(self.my_rows):
-            expected = row.evaluate(self.field.alpha(j))
+        for index in range(len(self.my_rows)):
+            expected = table[index][j - 1]
             if values[index] != expected:
                 verdict = (NOK_VERDICT, index, expected)
                 break
@@ -297,8 +391,7 @@ class WeakPolynomialSharing(ProtocolInstance):
             if not isinstance(index, int) or not (0 <= index < self.num_polynomials):
                 graph.remove_vertex_edges(i)
                 continue
-            expected = self._bivariates[index].evaluate(self.field.alpha(j), self.field.alpha(i))
-            if claimed != expected:
+            if claimed != self._dealer_expected_common_value(index, j, i):
                 graph.remove_vertex_edges(i)
         w_set = graph.iterated_degree_prune(self.n - self.ts)
         if not w_set:
@@ -349,16 +442,8 @@ class WeakPolynomialSharing(ProtocolInstance):
         if len(w_set) < self.n - self.ts:
             return False
         # No conflicting NOK pair inside W.
-        for j in w_set:
-            for k in w_set:
-                if j >= k:
-                    continue
-                nok_jk = noks.get((j, k))
-                nok_kj = noks.get((k, j))
-                if nok_jk is None or nok_kj is None:
-                    continue
-                if nok_jk[1] == nok_kj[1] and nok_jk[2] != nok_kj[2]:
-                    return False
+        if pairwise_nok_conflict(noks, w_set):
+            return False
         # Degree conditions.
         for j in w_set:
             # A party is always consistent with itself, hence the +1 (the
@@ -424,22 +509,34 @@ class WeakPolynomialSharing(ProtocolInstance):
 
     # -- OEC on the common points received from F / F' ---------------------------------------------------
     def _start_oec(self, sources: Set[int]) -> None:
-        if self._oec is not None:
+        if self._oec is not None or self._batch_oec is not None:
             return
-        self._oec = [
-            OnlineErrorCorrector(self.field, self.ts, self.ts)
-            for _ in range(self.num_polynomials)
-        ]
+        if batch_enabled():
+            self._batch_oec = BatchOnlineErrorCorrector(
+                self.field, self.num_polynomials, self.ts, self.ts
+            )
+        else:
+            self._oec = [
+                OnlineErrorCorrector(self.field, self.ts, self.ts)
+                for _ in range(self.num_polynomials)
+            ]
         self._oec_sources = sources
         for j in list(self.received_points):
             self._feed_oec(j)
 
     def _feed_oec(self, source: int) -> None:
-        if self._oec is None or self._oec_sources is None:
+        if self._oec_sources is None:
             return
         if source not in self._oec_sources or source not in self.received_points:
             return
         values = self.received_points[source]
+        if self._batch_oec is not None:
+            done = self._batch_oec.add_row(self.field.alpha(source), values)
+            if done and not self.has_output:
+                self.set_output(self._batch_oec.secrets())
+            return
+        if self._oec is None:
+            return
         done = True
         for index, corrector in enumerate(self._oec):
             corrector.add_point(self.field.alpha(source), values[index])

@@ -116,3 +116,57 @@ def test_ampc_eventual_termination_under_heavy_delays():
     result = run_asynchronous_baseline(circuit, {i: i for i in range(1, 6)}, n=5, faults=1,
                                        network=AsynchronousNetwork(max_delay=40.0), seed=6)
     assert len(result.honest_outputs()) == 5
+
+
+# -- batched vs scalar field paths --------------------------------------------------------------
+
+
+def _run_both_modes(run):
+    from repro.field.array import set_batch_enabled
+
+    results = {}
+    for batch in (True, False):
+        previous = set_batch_enabled(batch)
+        try:
+            results[batch] = run()
+        finally:
+            set_batch_enabled(previous)
+    return results[True], results[False]
+
+
+def test_smpc_batch_and_scalar_runs_identical():
+    circuit = multiplication_circuit(F, 4)
+    inputs = {1: 2, 2: 3, 3: 4, 4: 5}
+    batch_run, scalar_run = _run_both_modes(
+        lambda: run_synchronous_baseline(circuit, inputs, n=4, faults=1, seed=9)
+    )
+    assert batch_run.honest_outputs() == scalar_run.honest_outputs()
+    assert batch_run.honest_output_times() == scalar_run.honest_output_times()
+
+
+def test_smpc_batch_and_scalar_garbage_identical_under_violation():
+    """Even the failure mode (synchrony violated, fallback interpolation of
+    garbage) must be bit-identical between the twins."""
+    circuit = multiplication_circuit(F, 4)
+    inputs = {1: 2, 2: 3, 3: 4, 4: 5}
+    batch_run, scalar_run = _run_both_modes(
+        lambda: run_synchronous_baseline(
+            circuit, inputs, n=4, faults=1, max_time=1_000.0, seed=9,
+            network=PartitionedSynchronousNetwork(
+                delta=1.0, delayed_parties=frozenset({2}), violation_factor=50.0
+            ),
+        )
+    )
+    assert batch_run.honest_outputs() == scalar_run.honest_outputs()
+
+
+def test_ampc_batch_and_scalar_runs_identical():
+    circuit = mean_circuit(F, 4)
+    batch_run, scalar_run = _run_both_modes(
+        lambda: run_asynchronous_baseline(
+            circuit, {1: 10, 2: 20, 3: 30, 4: 40}, n=4, faults=1, seed=4,
+            network=AsynchronousNetwork(max_delay=3.0),
+        )
+    )
+    assert batch_run.honest_outputs() == scalar_run.honest_outputs()
+    assert batch_run.honest_output_times() == scalar_run.honest_output_times()
