@@ -5,14 +5,28 @@ both network types; the benchmark records bits, simulated time and verifies
 every generated triple.
 """
 
+import random
+import time
+
 import pytest
 
+from repro.analysis.metrics import sharded_triple_message_bound
+from repro.field.array import set_batch_enabled
 from repro.field.polynomial import interpolate_at
+from repro.sharing.wps import make_bivariates, rows_for_all_parties
 from repro.sim import AsynchronousNetwork, SynchronousNetwork, WrongValueBehavior
-from repro.triples.preprocessing import Preprocessing, preprocessing_time_bound
-from repro.triples.sharing import TripleSharing
+from repro.triples.preprocessing import (
+    Preprocessing,
+    preprocessing_time_bound,
+    triples_per_dealer,
+)
+from repro.triples.sharing import (
+    TripleSharing,
+    random_multiplication_triple,
+    triple_polynomials,
+)
 
-from bench_common import FIELD, make_runner, summarize
+from bench_common import FIELD, make_runner, record_bench, summarize
 
 
 def _reconstruct(shares_by_party, degree):
@@ -93,6 +107,116 @@ def test_preprocessing_with_byzantine_dealer(benchmark):
     assert stats["triples_valid"] == 1.0
 
 
+# -- dealer-side triple pipeline (batch vs scalar) -----------------------------------
+
+
+def _dealer_pipeline(n, ts, per_dealer, seed):
+    """The local work a ΠTripSh dealer does before anything hits the wire.
+
+    Generates the L·(2t_s+1) random multiplication triples, builds their
+    3 sharing polynomials each, embeds every polynomial into a symmetric
+    bivariate and extracts all n parties' rows -- the exact distribution
+    path of ``TripleSharing`` + ``VerifiableSecretSharing``.  Returns a
+    checksum digest so batch and scalar runs can be compared bit-for-bit.
+    """
+    rng = random.Random(seed)
+    triples = [
+        random_multiplication_triple(FIELD, rng)
+        for _ in range(per_dealer * (2 * ts + 1))
+    ]
+    polynomials = triple_polynomials(FIELD, ts, triples, rng)
+    bivariates = make_bivariates(FIELD, polynomials, rng)
+    per_party_rows = rows_for_all_parties(FIELD, bivariates, list(range(1, n + 1)))
+    checksum = 0
+    for rows in per_party_rows:
+        for row in rows:
+            checksum = (checksum + sum(int(c) for c in row.coeffs)) % FIELD.modulus
+    return {
+        "checksum": checksum,
+        "polynomials": len(polynomials),
+        "triples": [(int(a), int(b), int(c)) for a, b, c in triples[:4]],
+    }
+
+
+def measure_dealer_pipeline_speedup(n=16, ts=5, c_m=64, seed=31, repeats=1):
+    """Wall-time of the dealer-side triple-sharing pipeline, batch vs scalar."""
+    per_dealer = triples_per_dealer(n, ts, c_m)
+
+    def run_mode(batch):
+        previous = set_batch_enabled(batch)
+        try:
+            best, digest = float("inf"), None
+            for _ in range(repeats):
+                start = time.perf_counter()
+                digest = _dealer_pipeline(n, ts, per_dealer, seed)
+                best = min(best, time.perf_counter() - start)
+            return best, digest
+        finally:
+            set_batch_enabled(previous)
+
+    batch_time, batch_digest = run_mode(True)
+    scalar_time, scalar_digest = run_mode(False)
+    assert batch_digest == scalar_digest, "batch and scalar dealer pipelines disagree"
+    return {
+        "n": float(n),
+        "ts": float(ts),
+        "c_m": float(c_m),
+        "per_dealer": float(per_dealer),
+        "polynomials": float(batch_digest["polynomials"]),
+        "scalar_s": scalar_time,
+        "batch_s": batch_time,
+        "speedup": scalar_time / batch_time if batch_time else float("inf"),
+    }
+
+
+def test_dealer_pipeline_batch_speedup_n16():
+    """Acceptance: >= 3x batch-vs-scalar on the dealer triple pipeline at n=16, c_M=64."""
+    stats = measure_dealer_pipeline_speedup(n=16, ts=5, c_m=64)
+    record_bench("triples", "dealer_pipeline_n16_ts5_cm64", stats)
+    assert stats["speedup"] >= 3.0, f"speedup only {stats['speedup']:.1f}x"
+
+
+# -- round sharding: bounded per-round triple payloads --------------------------------
+
+
+def _run_preprocessing(shard_size, n=4, ts=1, ta=0, c_m=3, seed=5):
+    runner = make_runner(n, network=SynchronousNetwork(), seed=seed)
+    return runner.run(
+        lambda party: Preprocessing(party, "preproc", ts=ts, ta=ta, num_triples=c_m,
+                                    anchor=0.0, shard_size=shard_size),
+        max_time=5_000_000.0,
+    )
+
+
+def measure_sharding_round_bound(n=4, ts=1, ta=0, c_m=3, shard_size=1, seed=5):
+    """Max single-message size with and without round sharding, plus the bound."""
+    sharded = _run_preprocessing(shard_size, n=n, ts=ts, ta=ta, c_m=c_m, seed=seed)
+    unsharded = _run_preprocessing(None, n=n, ts=ts, ta=ta, c_m=c_m, seed=seed)
+    assert _triples_valid(sharded, ts) and _triples_valid(unsharded, ts)
+    per_dealer = triples_per_dealer(n, ts, c_m)
+    return {
+        "n": float(n),
+        "ts": float(ts),
+        "c_m": float(c_m),
+        "per_dealer": float(per_dealer),
+        "shard_size": float(shard_size),
+        "bound_bits": float(sharded_triple_message_bound(shard_size, ts, FIELD.element_bits())),
+        "sharded_max_message_bits": float(sharded.metrics.max_message_bits),
+        "unsharded_max_message_bits": float(unsharded.metrics.max_message_bits),
+        "sharded_sim_time": max(sharded.honest_output_times().values()),
+        "unsharded_sim_time": max(unsharded.honest_output_times().values()),
+        "sharded_total_bits": float(sharded.metrics.total_bits),
+        "unsharded_total_bits": float(unsharded.metrics.total_bits),
+    }
+
+
+def test_sharded_preprocessing_bounds_round_payloads():
+    stats = measure_sharding_round_bound()
+    record_bench("triples", "shard_round_bound_n4_ts1_cm3", stats)
+    assert stats["sharded_max_message_bits"] <= stats["bound_bits"]
+    assert stats["unsharded_max_message_bits"] > stats["bound_bits"]
+
+
 def smoke():
     """Tiny-size rot check used by the bench_smoke tier-1 marker."""
     runner = make_runner(4, network=SynchronousNetwork(), seed=1)
@@ -102,4 +226,6 @@ def smoke():
         max_time=500_000.0,
     )
     assert _triples_valid(result, 1)
+    stats = measure_dealer_pipeline_speedup(n=4, ts=1, c_m=2, repeats=1)
+    assert stats["batch_s"] > 0
     return summarize(result)

@@ -29,3 +29,41 @@ def pytest_configure(config):
         "bench_smoke: tiny-size smoke of a benchmarks/bench_*.py module, run "
         "under tier-1 so the benchmark suite cannot silently rot",
     )
+    config.addinivalue_line(
+        "markers",
+        "tier2: the slow full scenario-matrix grid and other exhaustive "
+        "sweeps; deselected from the default (tier-1) run, executed with "
+        "`pytest -m tier2`",
+    )
+    config.addinivalue_line(
+        "markers",
+        "examples_smoke: runs an examples/*.py entry point end to end so the "
+        "public examples cannot silently rot; deselect with "
+        "`-m 'not examples_smoke'` when iterating",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    """Keep tier-1 (`pytest -x -q`) fast: deselect tier2 unless -m was given.
+
+    Explicit node ids (``pytest path::test[param]``) also bypass the
+    deselection, so a failing grid cell reproduces by pasting its id.  A
+    marker expression only bypasses it when it mentions tier2 itself --
+    ``-m "not examples_smoke"`` must not accidentally pull in the grid.
+    """
+    if "tier2" in (config.getoption("-m") or ""):
+        return
+    explicit = [str(arg).replace(os.sep, "/") for arg in config.args if "::" in str(arg)]
+
+    def requested_by_node_id(item):
+        return any(arg.endswith(item.nodeid) for arg in explicit)
+
+    tier2_items = [
+        item
+        for item in items
+        if item.get_closest_marker("tier2") and not requested_by_node_id(item)
+    ]
+    if tier2_items:
+        config.hook.pytest_deselected(items=tier2_items)
+        keep = set(id(item) for item in tier2_items)
+        items[:] = [item for item in items if id(item) not in keep]

@@ -10,7 +10,14 @@ from repro.analysis.complexity import (
     cir_eval_bits,
     paper_cir_eval_time,
 )
-from repro.analysis.metrics import fit_power_law, communication_summary
+from repro.analysis.metrics import (
+    fit_power_law,
+    communication_summary,
+    per_round_bits,
+    max_round_bits,
+    max_message_bits,
+    sharded_triple_message_bound,
+)
 
 __all__ = [
     "acast_bits",
@@ -23,4 +30,8 @@ __all__ = [
     "paper_cir_eval_time",
     "fit_power_law",
     "communication_summary",
+    "per_round_bits",
+    "max_round_bits",
+    "max_message_bits",
+    "sharded_triple_message_bound",
 ]

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
@@ -33,4 +33,49 @@ def communication_summary(metrics) -> Dict[str, float]:
         "messages_delivered": float(metrics.messages_delivered),
         "honest_bits": float(metrics.honest_bits),
         "total_bits": float(metrics.total_bits),
+        "max_message_bits": float(getattr(metrics, "max_message_bits", 0)),
+        "max_round_bits": float(max_round_bits(metrics)),
     }
+
+
+# -- per-round message-size accounting ----------------------------------------
+#
+# The round-sharded preprocessing (ΠPreProcessing with ``shard_size`` set)
+# bounds how many triple payloads any single protocol round carries; these
+# helpers turn the simulator's raw counters into the quantities the sharding
+# contract is stated in.
+
+
+def per_round_bits(metrics) -> Dict[int, int]:
+    """Bits sent per synchronous round (send time bucketed by Delta)."""
+    return dict(getattr(metrics, "bits_by_round", {}))
+
+
+def max_round_bits(metrics) -> int:
+    """The heaviest single round of the execution, in bits."""
+    rounds = getattr(metrics, "bits_by_round", {})
+    return max(rounds.values()) if rounds else 0
+
+
+def max_message_bits(metrics, tag_prefix: Optional[str] = None) -> int:
+    """The largest single message, optionally restricted to a root tag prefix."""
+    if tag_prefix is None:
+        return getattr(metrics, "max_message_bits", 0)
+    return getattr(metrics, "max_message_bits_by_tag_prefix", {}).get(tag_prefix, 0)
+
+
+def sharded_triple_message_bound(
+    shard_size: int, ts: int, element_bits: int, header_bits: int = 64
+) -> int:
+    """Upper bound on any single triple-sharing message under round sharding.
+
+    A ΠTripSh shard of ``shard_size`` triples makes its dealer VSS-distribute
+    ``shard_size * 3 * (2*ts + 1)`` degree-t_s polynomials; the heaviest
+    message of the whole pipeline is that row-distribution message
+    (one degree-t_s row, i.e. ``ts + 1`` coefficients, per polynomial).  The
+    slack term covers the message header, the payload-kind marker string and
+    per-container accounting overhead.
+    """
+    polynomials = shard_size * 3 * (2 * ts + 1)
+    slack = header_bits + 8 * 16
+    return polynomials * (ts + 1) * element_bits + slack

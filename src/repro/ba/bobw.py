@@ -45,12 +45,16 @@ class BestOfBothWorldsBA(ProtocolInstance):
         self.value = None if value is None else int(value)
         self._bc: Dict[int, BroadcastProtocol] = {}
         self._aba: Optional[BrachaABA] = None
+        self._aba_input_pending = False
 
     # -- input -----------------------------------------------------------------
     def provide_input(self, value: int) -> None:
         self.value = int(value)
         if self._bc and self.me in self._bc:
             self._bc[self.me].provide_input(self.value)
+        if self._aba_input_pending:
+            self._aba_input_pending = False
+            self._launch_aba(self.value)
 
     # -- protocol -----------------------------------------------------------------
     def start(self) -> None:
@@ -82,8 +86,22 @@ class BestOfBothWorldsBA(ProtocolInstance):
             ones = sum(1 for value in delivered.values() if value == 1)
             zeros = len(delivered) - ones
             my_input = 1 if ones >= zeros else 0
+        elif self.value is not None:
+            my_input = self.value
         else:
-            my_input = self.value if self.value is not None else 0
+            # No input yet (the enclosing protocol votes on completion, e.g.
+            # the ΠACS / ΠPreProcessing BA banks in an asynchronous network):
+            # joining the ABA with a default 0 would violate validity -- all
+            # honest parties could end up deciding 0 for every dealer and the
+            # common subset would come out empty.  Defer until provide_input;
+            # early ABA messages are buffered by the party until then.
+            self._aba_input_pending = True
+            return
+        self._launch_aba(my_input)
+
+    def _launch_aba(self, my_input: int) -> None:
+        if self._aba is not None:
+            return
         self._aba = self.spawn(BrachaABA, "aba", faults=self.faults, value=my_input)
         self._aba.on_output(self.set_output)
         self._aba.start()

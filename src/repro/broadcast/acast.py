@@ -4,12 +4,30 @@ A designated sender S broadcasts a message m.  With t < n/3 corruptions the
 protocol guarantees (asynchronously) liveness and validity for an honest S,
 and consistency for a corrupt S; in a synchronous network an honest sender's
 message is output by every honest party within 3*Delta.
+
+Batched payloads
+----------------
+
+Acast's echo/ready counting keys every received value into dictionaries, so
+broadcasting a long vector of field elements hashes and compares the whole
+vector on every one of the O(n^2) protocol messages.  The batched path wraps
+such vectors into a :class:`PackedFieldVector` -- int residues encoded and
+decoded through :class:`~repro.field.array.FieldArray`, with the digest
+computed once at construction -- so each dict lookup costs a single cached
+hash instead of per-element hashing.  Packing happens transparently in
+:meth:`AcastProtocol.provide_input`/:meth:`AcastProtocol.start` when
+batching is enabled (see :func:`repro.field.array.batch_enabled`); the
+delivered output is the packed vector, whose :meth:`PackedFieldVector.elements`
+round-trips to the original boxed elements.  Bit accounting is identical to
+the unpacked vector, so batch and scalar transcripts agree.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Set
+from typing import Any, Dict, List, Optional, Sequence, Set
 
+from repro.field.array import FieldArray, batch_enabled
+from repro.field.gf import GF, FieldElement
 from repro.sim.party import Party, ProtocolInstance
 
 _INIT = "init"
@@ -22,12 +40,89 @@ def acast_time_bound(delta: float) -> float:
     return 3.0 * delta
 
 
+class PackedFieldVector:
+    """A broadcast payload carrying many field elements as one packed vector.
+
+    Stores plain int residues (the :class:`FieldArray` encoding) and caches
+    its hash, so Bracha-style echo/ready counting pays one digest per payload
+    object instead of one per element per dict operation.
+    """
+
+    __slots__ = ("field", "values", "_digest")
+
+    def __init__(self, field: GF, values: Sequence, _normalized: bool = False):
+        self.field = field
+        if _normalized:
+            self.values = tuple(values)
+        else:
+            p = field.modulus
+            self.values = tuple(int(v) % p for v in values)
+        self._digest = hash((field.modulus, self.values))
+
+    @classmethod
+    def pack(cls, field: GF, elements: Sequence[FieldElement]) -> "PackedFieldVector":
+        return cls(field, FieldArray.from_elements(field, list(elements)).values,
+                   _normalized=True)
+
+    def elements(self) -> List[FieldElement]:
+        """Decode back to boxed field elements (via FieldArray)."""
+        return FieldArray(self.field, self.values, _normalized=True).to_elements()
+
+    def as_array(self) -> FieldArray:
+        return FieldArray(self.field, self.values, _normalized=True)
+
+    def payload_bits(self) -> int:
+        """Same accounting as the unpacked element list (see sim.messages)."""
+        return len(self.values) * self.field.element_bits()
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __hash__(self) -> int:
+        return self._digest
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PackedFieldVector):
+            return (
+                self._digest == other._digest
+                and self.field.modulus == other.field.modulus
+                and self.values == other.values
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"PackedFieldVector(len={len(self.values)})"
+
+
+def maybe_pack_payload(message: Any) -> Any:
+    """Pack a homogeneous vector of field elements when batching is enabled.
+
+    Anything that is not a non-empty list/tuple of same-field
+    :class:`FieldElement` values -- or when batching is disabled -- passes
+    through untouched, which keeps the scalar reference transcripts intact.
+    """
+    if not batch_enabled():
+        return message
+    if isinstance(message, PackedFieldVector):
+        return message
+    if (
+        isinstance(message, (list, tuple))
+        and len(message) > 1
+        and all(isinstance(v, FieldElement) for v in message)
+    ):
+        field = message[0].field
+        if all(v.field.modulus == field.modulus for v in message):
+            return PackedFieldVector.pack(field, message)
+    return message
+
+
 class AcastProtocol(ProtocolInstance):
     """One Acast instance.
 
     Every party instantiates the protocol with the same tag; only the party
     whose id equals ``sender`` uses ``message`` (its input).  The output is
-    the delivered message.
+    the delivered message (a :class:`PackedFieldVector` when the sender's
+    input was a field-element vector and batching is enabled).
     """
 
     def __init__(
@@ -41,7 +136,7 @@ class AcastProtocol(ProtocolInstance):
         super().__init__(party, tag)
         self.sender = sender
         self.faults = faults
-        self.message = message
+        self.message = maybe_pack_payload(message) if message is not None else None
         self._echoed = False
         self._readied = False
         self._echo_counts: Dict[Any, Set[int]] = {}
@@ -68,9 +163,9 @@ class AcastProtocol(ProtocolInstance):
 
     def provide_input(self, message: Any) -> None:
         """Late input injection for a sender that obtains m after start()."""
-        self.message = message
+        self.message = maybe_pack_payload(message)
         if self.me == self.sender:
-            self.send_all((_INIT, message))
+            self.send_all((_INIT, self.message))
 
     def receive(self, sender: int, payload: Any) -> None:
         kind, value = payload

@@ -7,6 +7,15 @@ output, and ⊥ otherwise.  Parties that output ⊥ in regular mode later switch
 to the Acast value through the fallback mode (needed by the VSS layer).
 
 ⊥ is represented by ``None``.
+
+Long field-element vectors take the batched payload path of
+:mod:`repro.broadcast.acast`: the sender's input is packed once into a
+:class:`~repro.broadcast.acast.PackedFieldVector` (int residues, one cached
+digest), and the packed value flows through the Acast echo/ready counting,
+the phase-king SBA's per-round tallies and the regular/fallback-mode
+comparison below without ever re-hashing individual elements.  The ΠBC
+output is then the packed vector; ``output.elements()`` recovers the boxed
+elements.
 """
 
 from __future__ import annotations
@@ -14,7 +23,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from repro.ba.sba import PhaseKingSBA, sba_time_bound
-from repro.broadcast.acast import AcastProtocol
+from repro.broadcast.acast import AcastProtocol, maybe_pack_payload
 from repro.sim.party import Party, ProtocolInstance
 from repro.timing import epsilon
 
@@ -55,11 +64,14 @@ class BroadcastProtocol(ProtocolInstance):
         self.faults = faults
         self.delta = delta if delta is not None else party.simulator.delta
         self.anchor = anchor
-        self.message = message
+        # Packed here as well as in provide_input, so self.message holds the
+        # same representation on both input paths (the one the Acast and SBA
+        # key on).
+        self.message = maybe_pack_payload(message) if message is not None else None
         self.regular_output: Any = None
         self.regular_decided = False
         self._acast: AcastProtocol = self.spawn(
-            AcastProtocol, "acast", sender=sender, faults=faults, message=message
+            AcastProtocol, "acast", sender=sender, faults=faults, message=self.message
         )
         self._sba: Optional[PhaseKingSBA] = None
 
@@ -70,10 +82,15 @@ class BroadcastProtocol(ProtocolInstance):
 
     # -- input ---------------------------------------------------------------
     def provide_input(self, message: Any) -> None:
-        """Sender-side: supply the message (possibly after start)."""
-        self.message = message
+        """Sender-side: supply the message (possibly after start).
+
+        Field-element vectors are packed here (batched path) so the same
+        packed object is what the Acast, the SBA and the mode comparison in
+        :meth:`_decide_regular` all key on.
+        """
+        self.message = maybe_pack_payload(message)
         if self.me == self.sender:
-            self._acast.provide_input(message)
+            self._acast.provide_input(self.message)
 
     # -- protocol --------------------------------------------------------------
     def start(self) -> None:

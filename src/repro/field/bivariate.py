@@ -21,6 +21,7 @@ Two implementations live here:
 from __future__ import annotations
 
 import random
+from operator import mul as _mul
 from typing import List, Optional, Sequence, Tuple
 
 from repro.field.array import batch_interpolate, dot_mod, vandermonde_matrix
@@ -337,8 +338,13 @@ class BatchSymmetricBivariate:
         p = self.field.modulus
         v_matrix = vandermonde_matrix(self.field, ys, self.degree)
         field = self.field
+        coeffs = self.coeffs
+        # dot_mod inlined: this is the hottest dealer-side loop (one product
+        # per (party, coefficient) over the whole triple bank).
         return [
-            Polynomial(field, [dot_mod(c_row, v_row, p) for c_row in self.coeffs])
+            Polynomial.from_reduced_ints(
+                field, [sum(map(_mul, c_row, v_row)) % p for c_row in coeffs]
+            )
             for v_row in v_matrix
         ]
 

@@ -32,6 +32,24 @@ class Polynomial:
 
     # -- constructors -----------------------------------------------------
     @classmethod
+    def from_reduced_ints(cls, field: GF, values: Sequence[int]) -> "Polynomial":
+        """Trusted fast constructor from already-reduced int residues.
+
+        Skips the per-coefficient :meth:`GF.__call__` coercion of the public
+        constructor (the caller guarantees ``0 <= v < p``); trailing-zero
+        stripping still applies, so the result is indistinguishable from
+        ``Polynomial(field, values)``.  Used by the batched bivariate row
+        extraction, where boxing dominates the dealer distribution.
+        """
+        poly = object.__new__(cls)
+        poly.field = field
+        coeffs = [FieldElement(v, field) for v in values] or [field.zero()]
+        while len(coeffs) > 1 and coeffs[-1].value == 0:
+            coeffs.pop()
+        poly.coeffs = coeffs
+        return poly
+
+    @classmethod
     def zero(cls, field: GF) -> "Polynomial":
         return cls(field, [field.zero()])
 

@@ -92,6 +92,7 @@ def run_mpc(
     max_time: Optional[float] = None,
     max_events: Optional[int] = None,
     batch: Optional[bool] = None,
+    shard_size: Optional[int] = None,
 ) -> MPCResult:
     """Run ΠCirEval end-to-end on the simulated network and return the result.
 
@@ -100,6 +101,14 @@ def run_mpc(
     ``batch`` pins the batched field-arithmetic fast paths on (True) or off
     (False -- the scalar reference implementation) for the duration of this
     run; None keeps the process-wide default (batching on).
+
+    ``shard_size`` round-shards the triple preprocessing: no single ΠTripSh
+    round then carries more than ``shard_size`` triples per dealer, bounding
+    the per-round message size of triple-heavy circuits at the cost of more
+    (sequential) sharing rounds.  None (the default) keeps the single
+    unsharded round.  The circuit outputs are independent of the sharding
+    (the triples are random masks), so any ``shard_size`` yields the same
+    result values.
     """
     check_parameters(n, ts, ta)
     runner = ProtocolRunner(n, network=network or SynchronousNetwork(), field=field, seed=seed,
@@ -116,6 +125,7 @@ def run_mpc(
             ta=ta,
             my_inputs=my_inputs,
             anchor=0.0,
+            shard_size=shard_size,
         )
 
     previous = set_batch_enabled(batch) if batch is not None else None

@@ -29,15 +29,28 @@ from repro.triples.preprocessing import Preprocessing, preprocessing_time_bound
 from repro.triples.reconstruction import PublicReconstruction
 
 
-def cir_eval_time_bound(n: int, ts: int, multiplicative_depth: int, delta: float) -> float:
+def cir_eval_time_bound(
+    n: int,
+    ts: int,
+    multiplicative_depth: int,
+    delta: float,
+    shard_size: Optional[int] = None,
+    c_m: int = 1,
+) -> float:
     """Nominal time bound for ΠCirEval in a synchronous network.
 
     The paper's closed form is (120n + D_M + 6k - 20)·Δ for its specific
     sub-protocol constants; with our instantiations the bound is
-    max(T_ACS, T_TripGen) + (D_M + 2)·Δ.
+    max(T_ACS, T_TripGen) + (D_M + 2)·Δ.  With round sharding the
+    preprocessing term grows to one T_TripSh per shard round, so callers
+    bounding a sharded run must pass the same ``shard_size`` (and the
+    circuit's multiplication count ``c_m``) they gave ``run_mpc``.
     """
     return (
-        max(acs_time_bound(n, ts, delta), preprocessing_time_bound(n, ts, delta))
+        max(
+            acs_time_bound(n, ts, delta),
+            preprocessing_time_bound(n, ts, delta, shard_size=shard_size, c_m=c_m),
+        )
         + (multiplicative_depth + 2.0) * delta
         + 8 * epsilon(delta)
     )
@@ -61,6 +74,7 @@ class CircuitEvaluation(ProtocolInstance):
         my_inputs: Optional[List] = None,
         anchor: Optional[float] = None,
         delta: Optional[float] = None,
+        shard_size: Optional[int] = None,
     ):
         super().__init__(party, tag)
         self.circuit = circuit
@@ -69,6 +83,8 @@ class CircuitEvaluation(ProtocolInstance):
         self.my_inputs = list(my_inputs) if my_inputs is not None else []
         self.anchor = anchor
         self.delta = delta if delta is not None else party.simulator.delta
+        #: Bound on triples per ΠTripSh round (None = unsharded preprocessing).
+        self.shard_size = shard_size
 
         self._acs: Optional[AgreementOnCommonSubset] = None
         self._preprocessing: Optional[Preprocessing] = None
@@ -127,6 +143,7 @@ class CircuitEvaluation(ProtocolInstance):
             num_triples=max(1, self.circuit.multiplication_count),
             anchor=self.anchor,
             delta=self.delta,
+            shard_size=self.shard_size,
         )
         self._preprocessing.on_output(self._record_triples)
         self._acs.start()

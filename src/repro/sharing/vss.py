@@ -121,6 +121,20 @@ class VerifiableSecretSharing(BivariateSharingMixin, ProtocolInstance):
     def provide_input(self, polynomials: List[Polynomial]) -> None:
         self.polynomials = polynomials
         if self.me == self.dealer and self.anchor is not None:
+            self._distribute_at_anchor()
+
+    def _distribute_at_anchor(self) -> None:
+        """Distribute now, or at the anchor if it lies strictly in the future.
+
+        Instances anchored at their creation time (every pre-sharding flow)
+        keep the original synchronous call; the round-sharded preprocessing
+        anchors later shards in the future, and deferring the heavy row
+        distribution to that anchor is what actually staggers the per-round
+        wire traffic.
+        """
+        if self.anchor > self.now:
+            self.schedule_at(self.anchor, self._dealer_distribute)
+        else:
             self._dealer_distribute()
 
     # -- lifecycle --------------------------------------------------------------------
@@ -182,7 +196,7 @@ class VerifiableSecretSharing(BivariateSharingMixin, ProtocolInstance):
         self._star2_bc.start()
 
         if self.me == self.dealer and self.polynomials is not None:
-            self._dealer_distribute()
+            self._distribute_at_anchor()
         if self.me == self.dealer:
             self.schedule_at(self._ok_anchor + self.t_bc + 2 * eps, self._dealer_find_star)
         self.schedule_at(self._ok_anchor + self.t_bc + 3 * eps, self._take_snapshot)

@@ -24,6 +24,7 @@ from repro.sim.adversary import (
     EquivocatingBehavior,
     WrongValueBehavior,
     DelayBehavior,
+    RandomDropBehavior,
 )
 from repro.sim.runner import ProtocolRunner, RunResult
 
@@ -45,6 +46,7 @@ __all__ = [
     "EquivocatingBehavior",
     "WrongValueBehavior",
     "DelayBehavior",
+    "RandomDropBehavior",
     "ProtocolRunner",
     "RunResult",
 ]

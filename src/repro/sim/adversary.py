@@ -7,6 +7,11 @@ incoming ones, or perturb the values it sends -- which covers crash faults,
 equivocation, wrong shares and dealer misbehaviour.  Protocol-specific
 attacks (e.g. a dealer distributing an inconsistent bivariate polynomial)
 are built from these primitives in the tests and benchmarks.
+
+Randomized behaviours draw exclusively from an *injected*
+:class:`random.Random` (never the module-global ``random`` state), so every
+adversarial scenario is reproducible from its seed alone -- the scenario
+matrix in ``tests/test_scenario_matrix.py`` relies on this.
 """
 
 from __future__ import annotations
@@ -104,10 +109,19 @@ class WrongValueBehavior(Behavior):
         self.offset = offset
 
     def _perturb(self, value: Any) -> Any:
+        # Imported lazily: the broadcast package itself depends on sim.party.
+        from repro.broadcast.acast import PackedFieldVector
+
         if isinstance(value, FieldElement):
             return value + self.offset
         if isinstance(value, Polynomial):
             return Polynomial(value.field, [c + self.offset for c in value.coeffs])
+        if isinstance(value, PackedFieldVector):
+            # Packed broadcast vectors are perturbed element-wise, like their
+            # unpacked twin, so equivocation attacks bite on both paths.
+            return PackedFieldVector(
+                value.field, (value.as_array() + self.offset).values, _normalized=True
+            )
         if isinstance(value, tuple):
             return tuple(self._perturb(v) for v in value)
         if isinstance(value, list):
@@ -157,6 +171,41 @@ class EquivocatingBehavior(Behavior):
             message.send_time,
         )
         return [corrupted]
+
+
+class RandomDropBehavior(Behavior):
+    """Drops each matching outgoing message independently with probability p.
+
+    Models a lossy / omission-faulty corrupt party.  The draws come from the
+    *injected* ``rng`` (a :class:`random.Random`), never from the
+    module-global ``random`` state, so a scenario seeded with
+    ``RandomDropBehavior(0.3, random.Random(seed))`` replays identically
+    across runs and across the batch/scalar twin executions.
+    """
+
+    def __init__(
+        self,
+        drop_probability: float,
+        rng: random.Random,
+        tag_predicate: Optional[Callable[[str], bool]] = None,
+    ):
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        if not isinstance(rng, random.Random):
+            raise TypeError(
+                "RandomDropBehavior requires an injected random.Random instance "
+                "(module-global random would make scenarios unreproducible)"
+            )
+        self.drop_probability = drop_probability
+        self.rng = rng
+        self.tag_predicate = tag_predicate or (lambda tag: True)
+
+    def filter_send(self, party: Party, message: Message) -> List[Message]:
+        if not self.tag_predicate(message.tag):
+            return [message]
+        if self.rng.random() < self.drop_probability:
+            return []
+        return [message]
 
 
 class CompositeBehavior(Behavior):

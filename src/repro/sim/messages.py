@@ -63,5 +63,11 @@ def payload_bits(payload: Any) -> int:
         return sum(payload_bits(item) for item in payload)
     if isinstance(payload, dict):
         return sum(payload_bits(k) + payload_bits(v) for k, v in payload.items())
+    # Payloads that know their own wire size (e.g. the packed broadcast
+    # vectors) report it; they must account exactly like their unpacked
+    # twin so batch and scalar transcripts stay bit-identical.
+    own_bits = getattr(payload, "payload_bits", None)
+    if callable(own_bits):
+        return own_bits()
     # Unknown objects: charge a conservative flat cost.
     return 128

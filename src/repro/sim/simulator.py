@@ -18,7 +18,10 @@ class SimulationMetrics:
 
     ``honest_bits`` counts bits sent by honest parties over real channels
     (self-delivery is free), which is the unit the paper's complexity
-    statements use.
+    statements use.  ``bits_by_round`` buckets sent bits into synchronous
+    rounds (send time divided by Delta) and ``max_message_bits`` tracks the
+    largest single message, which is what the round-sharded preprocessing
+    bounds.
     """
 
     def __init__(self) -> None:
@@ -27,14 +30,30 @@ class SimulationMetrics:
         self.honest_bits = 0
         self.total_bits = 0
         self.bits_by_tag_prefix: Dict[str, int] = {}
+        self.bits_by_round: Dict[int, int] = {}
+        self.max_message_bits = 0
+        self.max_message_bits_by_tag_prefix: Dict[str, int] = {}
+        self.max_message_bits_by_round: Dict[int, int] = {}
 
-    def record_send(self, message: Message, sender_corrupt: bool) -> None:
+    def record_send(
+        self, message: Message, sender_corrupt: bool, round_index: Optional[int] = None
+    ) -> None:
         self.messages_sent += 1
         self.total_bits += message.bits
         if not sender_corrupt:
             self.honest_bits += message.bits
         prefix = message.tag.split("/", 1)[0]
         self.bits_by_tag_prefix[prefix] = self.bits_by_tag_prefix.get(prefix, 0) + message.bits
+        if message.bits > self.max_message_bits:
+            self.max_message_bits = message.bits
+        if message.bits > self.max_message_bits_by_tag_prefix.get(prefix, 0):
+            self.max_message_bits_by_tag_prefix[prefix] = message.bits
+        if round_index is not None:
+            self.bits_by_round[round_index] = (
+                self.bits_by_round.get(round_index, 0) + message.bits
+            )
+            if message.bits > self.max_message_bits_by_round.get(round_index, 0):
+                self.max_message_bits_by_round[round_index] = message.bits
 
     def record_delivery(self) -> None:
         self.messages_delivered += 1
@@ -93,7 +112,11 @@ class Simulator:
             delay = 1e-9
         else:
             delay = max(self.network.delay(message, self.rng), 1e-9)
-            self.metrics.record_send(message, message.sender in self.corrupt_parties)
+            delta = self.network.delta
+            round_index = int(self.now / delta) if delta > 0 else 0
+            self.metrics.record_send(
+                message, message.sender in self.corrupt_parties, round_index
+            )
         deliver_at = self.now + delay
         # Messages get priority 0 so that, at equal timestamps, deliveries are
         # processed before timers: a timer that "evaluates at time T" sees

@@ -6,7 +6,13 @@ from repro.triples.beaver import BeaverMultiplication
 from repro.triples.transform import TripleTransformation, transformed_points
 from repro.triples.sharing import TripleSharing, triple_sharing_time_bound
 from repro.triples.extraction import TripleExtraction
-from repro.triples.preprocessing import Preprocessing, preprocessing_time_bound, triples_per_dealer
+from repro.triples.preprocessing import (
+    Preprocessing,
+    preprocessing_time_bound,
+    triples_per_dealer,
+    extraction_yield,
+    shard_bounds,
+)
 
 __all__ = [
     "PublicReconstruction",
@@ -19,4 +25,6 @@ __all__ = [
     "Preprocessing",
     "preprocessing_time_bound",
     "triples_per_dealer",
+    "extraction_yield",
+    "shard_bounds",
 ]

@@ -5,18 +5,41 @@ shared on its behalf; a bank of n ΠBA instances fixes a common subset CS of
 exactly n - t_s triple providers; and L instances of ΠTripExt squeeze out
 c_M random t_s-shared multiplication triples that no party (and hence no
 adversary) knows.
+
+Round sharding
+--------------
+
+With ``shard_size`` set, the L triples per dealer are split into
+``ceil(L / shard_size)`` *rounds*: each round runs one bounded ΠTripSh
+instance per dealer (at most ``shard_size`` triples), anchored one
+T_TripSh after the previous round -- the dealer row distribution defers to
+that anchor (see ``VerifiableSecretSharing._distribute_at_anchor``) -- so
+no protocol round ever carries more than a ``shard_size``-bounded triple
+payload: the heaviest message drops from O(L·t_s²) to O(shard_size·t_s²)
+field elements in *every* round (see
+:func:`repro.analysis.metrics.sharded_triple_message_bound` and the
+per-round accounting in :class:`repro.sim.simulator.SimulationMetrics`).
+The price is ~``num_shards``× latency and more aggregate control traffic
+(each round runs its own ΠACS/ΠBC banks): sharding bounds the per-round
+payload burst, not the total bandwidth.  Extraction proceeds per shard:
+once CS is fixed and every CS dealer's shard ``s`` has delivered locally,
+its ΠTripExt instances start and the shard's stored outputs are released
+-- with straggling dealers (asynchronous fallback delivery) early shards
+extract while late shards are still in flight, and the raw bank of a
+consumed shard is never retained.  With ``shard_size=None`` (the default)
+the protocol is exactly the unsharded original, tags and anchors included.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.ba.aba import aba_nominal_time_bound
 from repro.ba.bobw import BestOfBothWorldsBA
 from repro.broadcast.bc import bc_time_bound
 from repro.sim.party import Party, ProtocolInstance
-from repro.timing import epsilon
+from repro.timing import epsilon, next_multiple_of_delta
 from repro.triples.extraction import TripleExtraction
 from repro.triples.sharing import TripleSharing, triple_sharing_time_bound
 from repro.triples.transform import TripleShares
@@ -33,10 +56,41 @@ def triples_per_dealer(n: int, ts: int, c_m: int) -> int:
     return max(1, math.ceil(c_m / extraction_yield(n, ts)))
 
 
-def preprocessing_time_bound(n: int, ts: int, delta: float) -> float:
-    """T_TripGen = T_TripSh + 2·T_BA + Δ (nominal)."""
+def shard_bounds(per_dealer: int, shard_size: Optional[int]) -> List[Tuple[int, int]]:
+    """The [lo, hi) triple-index ranges of each sharding round.
+
+    ``shard_size=None`` keeps the whole bank in one round (the unsharded
+    original); otherwise every round holds at most ``shard_size`` triples.
+    """
+    if shard_size is None:
+        return [(0, per_dealer)]
+    if shard_size < 1:
+        raise ValueError("shard_size must be >= 1")
+    return [
+        (lo, min(lo + shard_size, per_dealer))
+        for lo in range(0, per_dealer, shard_size)
+    ]
+
+
+def preprocessing_time_bound(
+    n: int, ts: int, delta: float, shard_size: Optional[int] = None, c_m: int = 1
+) -> float:
+    """T_TripGen = last-round offset + T_TripSh + 2·T_BA + Δ (nominal).
+
+    The unsharded protocol has one ΠTripSh round; with ``shard_size`` set
+    the rounds run back to back on Δ-grid-aligned anchors, trading latency
+    for bounded per-round bandwidth.
+    """
     t_ba = bc_time_bound(n, ts, delta) + aba_nominal_time_bound(delta)
-    return triple_sharing_time_bound(n, ts, delta) + 2.0 * t_ba + delta + 8 * epsilon(delta)
+    rounds = len(shard_bounds(triples_per_dealer(n, ts, c_m), shard_size))
+    t_tripsh = triple_sharing_time_bound(n, ts, delta)
+    eps = epsilon(delta)
+    last_offset = (
+        0.0
+        if rounds == 1
+        else next_multiple_of_delta((rounds - 1) * (t_tripsh + 2 * eps), delta)
+    )
+    return last_offset + t_tripsh + eps + 2.0 * t_ba + delta + 8 * eps
 
 
 class Preprocessing(ProtocolInstance):
@@ -45,6 +99,8 @@ class Preprocessing(ProtocolInstance):
     The output is the list of this party's shares of the generated
     multiplication triples (at least ``num_triples`` of them, possibly a few
     more because the extraction yield is a whole number per instance).
+    ``shard_size`` bounds how many triples any single ΠTripSh round carries
+    (None = unsharded).
     """
 
     def __init__(
@@ -56,6 +112,7 @@ class Preprocessing(ProtocolInstance):
         num_triples: int = 1,
         anchor: Optional[float] = None,
         delta: Optional[float] = None,
+        shard_size: Optional[int] = None,
     ):
         super().__init__(party, tag)
         self.ts = ts
@@ -64,42 +121,72 @@ class Preprocessing(ProtocolInstance):
         self.anchor = anchor
         self.delta = delta if delta is not None else party.simulator.delta
         self.per_dealer = triples_per_dealer(self.n, ts, num_triples)
+        self.shard_size = shard_size
+        self._shard_bounds = shard_bounds(self.per_dealer, shard_size)
+        self.num_shards = len(self._shard_bounds)
 
-        self._tripsh: Dict[int, TripleSharing] = {}
-        self._tripsh_outputs: Dict[int, List[TripleShares]] = {}
+        self._tripsh: Dict[Tuple[int, int], TripleSharing] = {}
+        #: dealer -> shard index -> that shard's triple-share outputs.
+        self._tripsh_outputs: Dict[int, Dict[int, List[TripleShares]]] = {}
+        #: dealer -> number of shards delivered (survives the streaming pops).
+        self._shards_received: Dict[int, int] = {}
+        #: Dealers whose every shard completed, in completion order (the
+        #: voting order of the unsharded original).
+        self._dealers_complete: List[int] = []
         self._ba: Dict[int, BestOfBothWorldsBA] = {}
         self._ba_inputs_given: set = set()
         self._ba_outputs: Dict[int, int] = {}
         self._after_wait = False
         self.common_subset: Optional[List[int]] = None
-        self._extractions: Dict[int, TripleExtraction] = {}
+        self._extracted_shards: Set[int] = set()
         self._extraction_outputs: Dict[int, List[TripleShares]] = {}
 
     # -- lifecycle -----------------------------------------------------------------
+    def _round_offset(self, shard: int) -> float:
+        """Start offset of sharding round ``shard``, aligned to the Δ grid.
+
+        Each round is a pure time-translate of a fresh ΠTripSh execution,
+        so the offset must be an exact multiple of Δ: the sub-protocols
+        snap their message sends to multiples of Δ while their deadlines
+        ride on the (epsilon-nudged) anchor, and an off-grid anchor would
+        let sends drift up to a full Δ past the regular-mode deadlines.
+        """
+        if shard == 0:
+            return 0.0
+        eps = epsilon(self.delta)
+        t_tripsh = triple_sharing_time_bound(self.n, self.ts, self.delta)
+        return next_multiple_of_delta(shard * (t_tripsh + 2 * eps), self.delta)
+
     def start(self) -> None:
         if self.anchor is None:
             self.anchor = self.now
         eps = epsilon(self.delta)
         t_tripsh = triple_sharing_time_bound(self.n, self.ts, self.delta)
         for j in self.party.all_party_ids():
-            tripsh = self.spawn(
-                TripleSharing,
-                f"tripsh[{j}]",
-                dealer=j,
-                ts=self.ts,
-                ta=self.ta,
-                num_triples=self.per_dealer,
-                anchor=self.anchor,
-                delta=self.delta,
-            )
-            self._tripsh[j] = tripsh
-            tripsh.on_output(lambda out, j=j: self._tripsh_completed(j, out))
+            for s, (lo, hi) in enumerate(self._shard_bounds):
+                # The unsharded protocol keeps its original tags/anchors.
+                tag = f"tripsh[{j}]" if self.shard_size is None else f"tripsh[{j}][{s}]"
+                tripsh = self.spawn(
+                    TripleSharing,
+                    tag,
+                    dealer=j,
+                    ts=self.ts,
+                    ta=self.ta,
+                    num_triples=hi - lo,
+                    anchor=self.anchor + self._round_offset(s),
+                    delta=self.delta,
+                )
+                self._tripsh[(j, s)] = tripsh
+                tripsh.on_output(
+                    lambda out, j=j, s=s: self._tripsh_completed(j, s, out)
+                )
+        t_all_shards = self._round_offset(self.num_shards - 1) + t_tripsh + eps
         for j in self.party.all_party_ids():
             ba = self.spawn(
                 BestOfBothWorldsBA,
                 f"ba[{j}]",
                 faults=self.ts,
-                anchor=self.anchor + t_tripsh + eps,
+                anchor=self.anchor + t_all_shards,
                 delta=self.delta,
             )
             self._ba[j] = ba
@@ -108,18 +195,26 @@ class Preprocessing(ProtocolInstance):
             tripsh.start()
         for ba in self._ba.values():
             ba.start()
-        self.schedule_at(self.anchor + t_tripsh + eps, self._after_tripsh_wait)
+        self.schedule_at(self.anchor + t_all_shards, self._after_tripsh_wait)
 
     # -- phase II: agree on the triple providers ----------------------------------------
-    def _tripsh_completed(self, dealer: int, output: List[TripleShares]) -> None:
-        self._tripsh_outputs[dealer] = output
-        if self._after_wait:
-            self._vote(dealer, 1)
+    def _tripsh_completed(
+        self, dealer: int, shard: int, output: List[TripleShares]
+    ) -> None:
+        # Outputs of dealers outside an already-fixed CS are never read:
+        # count them (for the voting bookkeeping) but do not retain them.
+        if self.common_subset is None or dealer in self.common_subset:
+            self._tripsh_outputs.setdefault(dealer, {})[shard] = output
+        self._shards_received[dealer] = self._shards_received.get(dealer, 0) + 1
+        if self._shards_received[dealer] == self.num_shards:
+            self._dealers_complete.append(dealer)
+            if self._after_wait:
+                self._vote(dealer, 1)
         self._maybe_extract()
 
     def _after_tripsh_wait(self) -> None:
         self._after_wait = True
-        for dealer in list(self._tripsh_outputs):
+        for dealer in list(self._dealers_complete):
             self._vote(dealer, 1)
 
     def _vote(self, dealer: int, value: int) -> None:
@@ -137,32 +232,57 @@ class Preprocessing(ProtocolInstance):
                     self._vote(j, 0)
         self._maybe_extract()
 
-    # -- phase III: extraction -------------------------------------------------------------
+    # -- phase III: streaming per-shard extraction --------------------------------------
     def _maybe_extract(self) -> None:
-        if self._extractions or self.has_output:
+        if self.has_output:
             return
         if len(self._ba_outputs) < self.n:
             return
         if self.common_subset is None:
             accepted = sorted(j for j, v in self._ba_outputs.items() if v == 1)
             self.common_subset = accepted[: self.n - self.ts]
-        if not all(j in self._tripsh_outputs for j in self.common_subset):
+            # Streaming: non-CS dealers' banks will never be consulted.
+            for dealer in list(self._tripsh_outputs):
+                if dealer not in self.common_subset:
+                    del self._tripsh_outputs[dealer]
+        if not self.common_subset:
+            # Can only happen outside the paper's threat model (e.g. an
+            # asynchronous network with more than t_a corruptions); there is
+            # nothing sound to extract from.
             return
         d = (len(self.common_subset) - 1) // 2
-        for index in range(self.per_dealer):
-            triples = [
-                self._tripsh_outputs[j][index] for j in self.common_subset[: 2 * d + 1]
-            ]
-            extraction = self.spawn(
-                TripleExtraction, f"ext[{index}]", ts=self.ts, d=d, triples=triples
-            )
-            self._extractions[index] = extraction
-            extraction.on_output(lambda out, index=index: self._extraction_completed(index, out))
-            extraction.start()
+        providers = self.common_subset[: 2 * d + 1]
+        for s, (lo, hi) in enumerate(self._shard_bounds):
+            if s in self._extracted_shards:
+                continue
+            # Extraction of a shard waits for the whole common subset (not
+            # just the 2d+1 providers), exactly like the unsharded original.
+            if not all(s in self._tripsh_outputs.get(j, {}) for j in self.common_subset):
+                continue
+            self._extracted_shards.add(s)
+            for index in range(lo, hi):
+                triples = [
+                    self._tripsh_outputs[j][s][index - lo] for j in providers
+                ]
+                extraction = self.spawn(
+                    TripleExtraction, f"ext[{index}]", ts=self.ts, d=d, triples=triples
+                )
+                extraction.on_output(
+                    lambda out, index=index: self._extraction_completed(index, out)
+                )
+                extraction.start()
+            # Streaming: the shard's raw outputs are consumed; drop them so
+            # the full bank is never materialized at once.
+            for j in self.common_subset:
+                self._tripsh_outputs[j].pop(s, None)
 
     def _extraction_completed(self, index: int, output: List[TripleShares]) -> None:
         self._extraction_outputs[index] = output
-        if len(self._extraction_outputs) == len(self._extractions) and not self.has_output:
+        if (
+            len(self._extraction_outputs) == self.per_dealer
+            and len(self._extracted_shards) == self.num_shards
+            and not self.has_output
+        ):
             triples: List[TripleShares] = []
             for position in sorted(self._extraction_outputs):
                 triples.extend(self._extraction_outputs[position])

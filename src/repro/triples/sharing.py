@@ -25,7 +25,11 @@ from repro.sim.party import Party, ProtocolInstance
 from repro.timing import epsilon
 from repro.triples.beaver import BeaverMultiplication
 from repro.triples.reconstruction import PublicReconstruction
-from repro.triples.transform import TripleTransformation, TripleShares, extend_shares
+from repro.triples.transform import (
+    TripleTransformation,
+    TripleShares,
+    extend_shares_batch,
+)
 
 
 def triple_sharing_time_bound(n: int, ts: int, delta: float) -> float:
@@ -182,31 +186,52 @@ class TripleSharing(ProtocolInstance):
             self._verify()
 
     # -- Phase III: supervised verification ----------------------------------------------
-    def _extend_all(self, index: int) -> List[TripleShares]:
-        """Extend the transformed triple shares to points alpha_1..alpha_n."""
-        transformed = self._transformed[index]
-        x_shares = [t[0] for t in transformed]
-        y_shares = [t[1] for t in transformed]
-        z_shares = [t[2] for t in transformed]
-        extended: List[TripleShares] = list(transformed)
-        for j in range(2 * self.ts + 2, self.n + 1):
-            at = self.field.alpha(j)
-            extended.append(
-                (
-                    extend_shares(self.field, x_shares, self.ts, at),
-                    extend_shares(self.field, y_shares, self.ts, at),
-                    extend_shares(self.field, z_shares, 2 * self.ts, at),
+    def _share_rows(self) -> Tuple[List[List[FieldElement]], List[List[FieldElement]]]:
+        """Per-index (x|y interleaved, z) share rows of the transformed triples."""
+        xy_rows: List[List[FieldElement]] = []
+        z_rows: List[List[FieldElement]] = []
+        for index in range(self.num_triples):
+            transformed = self._transformed[index]
+            xy_rows.append([t[0] for t in transformed])
+            xy_rows.append([t[1] for t in transformed])
+            z_rows.append([t[2] for t in transformed])
+        return xy_rows, z_rows
+
+    def _extend_all(self) -> None:
+        """Extend every index's transformed shares to points alpha_1..alpha_n.
+
+        One cached Lagrange matrix per degree evaluates every new point of
+        every triple at once (element-wise identical to per-point
+        :func:`extend_shares` calls, which the scalar mode falls back to
+        inside :func:`extend_shares_batch`).
+        """
+        ats = [self.field.alpha(j) for j in range(2 * self.ts + 2, self.n + 1)]
+        xy_rows, z_rows = self._share_rows()
+        xy_ext = (
+            extend_shares_batch(self.field, xy_rows, self.ts, ats) if ats else None
+        )
+        z_ext = (
+            extend_shares_batch(self.field, z_rows, 2 * self.ts, ats) if ats else None
+        )
+        for index in range(self.num_triples):
+            extended: List[TripleShares] = list(self._transformed[index])
+            for position in range(len(ats)):
+                extended.append(
+                    (
+                        xy_ext[2 * index][position],
+                        xy_ext[2 * index + 1][position],
+                        z_ext[index][position],
+                    )
                 )
-            )
-        return extended
+            self._extended[index] = extended
 
     def _verify(self) -> None:
         assert self._acs_result is not None
         subset, verification_shares = self._acs_result
         jobs = []
         self._beaver_jobs_index = []
+        self._extend_all()
         for index in range(self.num_triples):
-            self._extended[index] = self._extend_all(index)
             for j in subset:
                 x_share, y_share, _z_share = self._extended[index][j - 1]
                 u_share = verification_shares[j][3 * index]
@@ -267,18 +292,12 @@ class TripleSharing(ProtocolInstance):
             zero = self.field.zero()
             self.set_output([(zero, zero, zero) for _ in range(self.num_triples)])
             return
-        outputs: List[TripleShares] = []
         beta = self.field.beta(1)
-        for index in range(self.num_triples):
-            transformed = self._transformed[index]
-            x_shares = [t[0] for t in transformed]
-            y_shares = [t[1] for t in transformed]
-            z_shares = [t[2] for t in transformed]
-            outputs.append(
-                (
-                    extend_shares(self.field, x_shares, self.ts, beta),
-                    extend_shares(self.field, y_shares, self.ts, beta),
-                    extend_shares(self.field, z_shares, 2 * self.ts, beta),
-                )
-            )
+        xy_rows, z_rows = self._share_rows()
+        xy_out = extend_shares_batch(self.field, xy_rows, self.ts, [beta])
+        z_out = extend_shares_batch(self.field, z_rows, 2 * self.ts, [beta])
+        outputs: List[TripleShares] = [
+            (xy_out[2 * index][0], xy_out[2 * index + 1][0], z_out[index][0])
+            for index in range(self.num_triples)
+        ]
         self.set_output(outputs)

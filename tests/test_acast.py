@@ -89,6 +89,89 @@ def test_communication_is_order_n_squared():
     assert 2.5 <= ratio <= 6.0
 
 
+# -- batched payloads (PackedFieldVector) -------------------------------------------
+
+
+def test_packed_vector_roundtrip_and_digest():
+    from repro.broadcast.acast import PackedFieldVector, maybe_pack_payload
+    from repro.field import default_field
+
+    field = default_field()
+    elements = tuple(field(v) for v in (3, 0, field.modulus - 1, 42))
+    packed = maybe_pack_payload(elements)
+    assert isinstance(packed, PackedFieldVector)
+    assert packed.elements() == list(elements)
+    assert len(packed) == 4
+    # Equal vectors are equal objects with equal (cached) hashes...
+    twin = PackedFieldVector.pack(field, list(elements))
+    assert packed == twin and hash(packed) == hash(twin)
+    # ...and dict counting (the Acast echo/ready pattern) groups them.
+    votes = {}
+    votes.setdefault(packed, set()).add(1)
+    votes.setdefault(twin, set()).add(2)
+    assert votes[packed] == {1, 2}
+    # Non-vectors and heterogeneous containers pass through untouched.
+    assert maybe_pack_payload("m") == "m"
+    assert maybe_pack_payload((1, field(2))) == (1, field(2))
+
+
+def test_packed_vector_scalar_mode_passthrough():
+    from repro.broadcast.acast import maybe_pack_payload
+    from repro.field import default_field
+    from repro.field.array import set_batch_enabled
+
+    field = default_field()
+    elements = tuple(field(v) for v in (1, 2, 3))
+    previous = set_batch_enabled(False)
+    try:
+        assert maybe_pack_payload(elements) is elements
+    finally:
+        set_batch_enabled(previous)
+
+
+def test_acast_delivers_packed_vector_with_identical_bits():
+    from repro.broadcast.acast import PackedFieldVector
+    from repro.field import default_field
+    from repro.field.array import set_batch_enabled
+
+    field = default_field()
+    vector = tuple(field(v) for v in range(16))
+
+    def run(batch):
+        previous = set_batch_enabled(batch)
+        try:
+            return _run_acast(4, 1, sender=1, message=vector,
+                              network=SynchronousNetwork())
+        finally:
+            set_batch_enabled(previous)
+
+    batched, scalar = run(True), run(False)
+    assert len(batched.honest_outputs()) == len(scalar.honest_outputs()) == 4
+    for output in batched.honest_outputs().values():
+        assert isinstance(output, PackedFieldVector)
+        assert output.elements() == list(vector)
+    for output in scalar.honest_outputs().values():
+        assert tuple(output) == vector
+    # The packed path must not change the transcript accounting.
+    assert batched.metrics.messages_sent == scalar.metrics.messages_sent
+    assert batched.metrics.total_bits == scalar.metrics.total_bits
+
+
+def test_equivocating_sender_with_packed_vectors_stays_consistent():
+    """A perturbed packed vector is a *different* digest: consistency holds."""
+    from repro.field import default_field
+
+    field = default_field()
+    vector = tuple(field(v) for v in range(8))
+    result = _run_acast(
+        4, 1, sender=1, message=vector, network=SynchronousNetwork(),
+        corrupt={1: EquivocatingBehavior(group_b=[3, 4], tag_predicate=lambda t: True)},
+        max_time=100.0,
+    )
+    outputs = list(result.honest_outputs().values())
+    assert len({hash(v) for v in outputs}) <= 1
+
+
 def test_late_input_via_provide_input():
     runner = ProtocolRunner(4, network=SynchronousNetwork())
     instances = {}

@@ -66,3 +66,41 @@ def test_communication_summary():
     assert summary["messages_delivered"] == 1
     assert summary["total_bits"] > summary["honest_bits"] > 0
     assert metrics.bits_by_tag_prefix["a"] == metrics.total_bits
+
+
+def test_per_round_message_accounting():
+    from repro.analysis import max_message_bits, max_round_bits, per_round_bits
+
+    metrics = SimulationMetrics()
+    small = Message(1, 2, "preproc/x", 7, 0.0)
+    big = Message(1, 2, "preproc/y", [7] * 10, 1.0)
+    other = Message(1, 2, "other", "zz", 1.5)
+    metrics.record_send(small, sender_corrupt=False, round_index=0)
+    metrics.record_send(big, sender_corrupt=False, round_index=1)
+    metrics.record_send(other, sender_corrupt=False, round_index=1)
+
+    rounds = per_round_bits(metrics)
+    assert rounds == {0: small.bits, 1: big.bits + other.bits}
+    assert max_round_bits(metrics) == big.bits + other.bits
+    assert max_message_bits(metrics) == big.bits
+    assert max_message_bits(metrics, "preproc") == big.bits
+    assert max_message_bits(metrics, "other") == other.bits
+    assert max_message_bits(metrics, "absent") == 0
+    assert metrics.max_message_bits_by_round == {0: small.bits, 1: big.bits}
+
+    summary = communication_summary(metrics)
+    assert summary["max_message_bits"] == big.bits
+    assert summary["max_round_bits"] == big.bits + other.bits
+
+
+def test_sharded_triple_message_bound_formula():
+    from repro.analysis import sharded_triple_message_bound
+
+    # One triple, ts=1: 9 degree-1 polynomials of 2 coefficients each.
+    bound = sharded_triple_message_bound(1, 1, 61)
+    assert bound == 9 * 2 * 61 + 64 + 128
+    # The bound is linear in the shard size (plus the constant slack).
+    assert (
+        sharded_triple_message_bound(4, 1, 61) - sharded_triple_message_bound(2, 1, 61)
+        == 2 * 9 * 2 * 61
+    )

@@ -1,0 +1,77 @@
+"""Smokes of every ``examples/*.py`` entry point (the ``examples_smoke`` marker).
+
+The examples are the public face of the library and are not imported by any
+test, so a refactor could silently break them.  Each example is executed as
+a real subprocess (exactly how a user runs it); all four launch concurrently
+through a module-scoped fixture so the wall-clock cost of this module is the
+single slowest example, not the sum.
+
+Deselect with ``-m "not examples_smoke"`` when iterating on unrelated code.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_EXAMPLES_DIR = _ROOT / "examples"
+
+EXAMPLES = sorted(path.stem for path in _EXAMPLES_DIR.glob("*.py"))
+
+#: Expected stdout fragments: the examples must not just exit 0 but actually
+#: reach their final, correctness-asserting output lines.
+EXPECTED_OUTPUT = {
+    "quickstart": "Done.",
+    "building_blocks": "a*b == c ? True",
+    "network_fallback": "output matches the agreed effective inputs: True",
+    "private_statistics": "all honest hospitals agree: True",
+}
+
+
+def test_every_example_is_smoked():
+    """A new examples/*.py must be added to EXPECTED_OUTPUT and get smoked."""
+    assert EXAMPLES == sorted(EXPECTED_OUTPUT), (
+        "examples/ and EXPECTED_OUTPUT disagree; register the new example's "
+        "expected final output so it cannot silently rot"
+    )
+
+
+@pytest.fixture(scope="module")
+def running_examples():
+    """Launch every example concurrently; yield {name: Popen}."""
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    procs = {
+        name: subprocess.Popen(
+            [sys.executable, str(_EXAMPLES_DIR / f"{name}.py")],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        for name in EXAMPLES
+    }
+    yield procs
+    for proc in procs.values():
+        if proc.poll() is None:
+            proc.kill()
+
+
+@pytest.mark.examples_smoke
+@pytest.mark.parametrize("name", sorted(EXPECTED_OUTPUT))
+def test_example_runs_clean(running_examples, name):
+    proc = running_examples[name]
+    stdout, stderr = proc.communicate(timeout=600)
+    assert proc.returncode == 0, (
+        f"examples/{name}.py exited with {proc.returncode}\n"
+        f"stderr:\n{stderr[-2000:]}"
+    )
+    assert EXPECTED_OUTPUT[name] in stdout, (
+        f"examples/{name}.py ran but did not reach its expected final output "
+        f"({EXPECTED_OUTPUT[name]!r});\nstdout tail:\n{stdout[-2000:]}"
+    )

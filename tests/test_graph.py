@@ -148,6 +148,126 @@ def test_verify_star_rejects_bad_shapes():
     )  # F outside the allowed subset
 
 
+# -- edge cases: no-star executions, minimal stars, NOK-heavy graphs ----------------
+#
+# Each case runs on both the bitmask fast path and the scalar twin (the
+# ``graph_mode`` fixture), asserting identical results.
+
+
+@pytest.fixture(params=["batch", "scalar"])
+def graph_mode(request):
+    """Run the test body under the vectorized and the scalar graph paths."""
+    from repro.field.array import set_batch_enabled
+
+    previous = set_batch_enabled(request.param == "batch")
+    yield request.param
+    set_batch_enabled(previous)
+
+
+def test_no_star_in_empty_and_near_empty_graphs(graph_mode):
+    """No-star executions: empty graph, matching-only graph, star-free prune."""
+    n, t = 7, 2
+    empty = ConsistencyGraph(n)
+    assert find_star(empty, t) is None
+    assert empty.iterated_degree_prune(n - t) == set()
+
+    # A perfect-matching-only graph (max degree 1) has no (n, t)-star either.
+    sparse = ConsistencyGraph(6)
+    for a, b in [(1, 2), (3, 4), (5, 6)]:
+        sparse.add_edge(a, b)
+    assert find_star(sparse, 1) is None
+    assert sparse.iterated_degree_prune(5) == set()
+
+
+def test_minimal_star_exact_thresholds(graph_mode):
+    """A minimal star: |E| = n - 2t and |F| = n - t exactly, nothing spare."""
+    n, t = 7, 2
+    e_members = {1, 2, 3}            # n - 2t = 3
+    f_members = {1, 2, 3, 4, 5}      # n - t = 5
+    graph = ConsistencyGraph(n)
+    for a in e_members:
+        for b in f_members:
+            if a != b:
+                graph.add_edge(a, b)
+    star = Star(frozenset(e_members), frozenset(f_members))
+    assert graph.contains_star(e_members, f_members)
+    assert verify_star(graph, star, t)
+    # Dropping any single E-F edge destroys the star.
+    broken = graph.copy()
+    broken.remove_edge(1, 5)
+    assert not broken.contains_star(e_members, f_members)
+    assert not verify_star(broken, star, t)
+
+
+def test_minimal_ts_plus_one_clique_star(graph_mode):
+    """The smallest interesting case: an exact (t_s+1)-sized clique core at n=4."""
+    n, t = 4, 1
+    graph = _clique_graph(n, [1, 2, 3])  # n - t = 3 clique, nothing else
+    star = find_star(graph, t)
+    assert star is not None
+    assert verify_star(graph, star, t)
+    assert star.e_set <= {1, 2, 3} and len(star.e_set) >= n - 2 * t
+
+
+def test_nok_heavy_graph_prune_and_star(graph_mode):
+    """NOK-heavy executions: dealer pruning strips vertices, W and stars follow."""
+    n, t = 7, 2
+    graph = _clique_graph(n, range(1, n + 1))
+    # NOK verdicts against two parties: the dealer removes their edges.
+    for noisy in (6, 7):
+        graph.remove_vertex_edges(noisy)
+    w_set = graph.iterated_degree_prune(n - t)
+    assert w_set == {1, 2, 3, 4, 5}
+    # The surviving 5-clique still yields a star within W.
+    star = find_star(graph, t, within=w_set)
+    assert star is not None
+    assert verify_star(graph, star, t, within=w_set)
+    assert star.f_set <= w_set
+    # One more NOK takes the graph below the n - 2t clique bound: no star.
+    graph.remove_vertex_edges(5)
+    graph.remove_vertex_edges(4)
+    assert find_star(graph, t, within=graph.iterated_degree_prune(n - t)) is None
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(4, 9), seed=st.integers(0, 2 ** 31))
+def test_property_vectorized_matches_scalar_twin(n, seed):
+    """The bitmask fast path and the scalar twin agree on random graphs."""
+    from repro.field.array import set_batch_enabled
+
+    rng = random.Random(seed)
+    t = (n - 1) // 3
+    graph = ConsistencyGraph(n)
+    density = rng.choice([0.15, 0.5, 0.85])
+    for a, b in itertools.combinations(range(1, n + 1), 2):
+        if rng.random() < density:
+            graph.add_edge(a, b)
+    if rng.random() < 0.4:  # NOK pruning happens in real executions
+        graph.remove_vertex_edges(rng.randint(1, n))
+    subset = set(rng.sample(range(1, n + 1), rng.randint(1, n)))
+
+    previous = set_batch_enabled(True)
+    try:
+        batch = (
+            graph.iterated_degree_prune(n - t),
+            find_star(graph, t),
+            graph.is_clique(subset),
+            graph.contains_star(subset, set(range(1, n + 1))),
+            graph.degree_within(1, subset),
+        )
+        set_batch_enabled(False)
+        scalar = (
+            graph.iterated_degree_prune(n - t),
+            find_star(graph, t),
+            graph.is_clique(subset),
+            graph.contains_star(subset, set(range(1, n + 1))),
+            graph.degree_within(1, subset),
+        )
+    finally:
+        set_batch_enabled(previous)
+    assert batch == scalar
+
+
 @settings(max_examples=30, deadline=None)
 @given(n=st.integers(4, 8), seed=st.integers(0, 2 ** 31))
 def test_property_star_exists_when_honest_clique_exists(n, seed):
