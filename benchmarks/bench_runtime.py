@@ -1,0 +1,126 @@
+"""Execution-runtime benchmark: sim vs asyncio backend throughput.
+
+Runs the same protocol code on the two execution backends and records
+wall-clock and event-throughput rows to ``BENCH_runtime.json`` via
+:func:`bench_common.record_bench`:
+
+* ``acast_n16`` -- a 16-party Acast of a 256-element field vector, the
+  n=16 throughput row the runtime refactor is gated on (sim, asyncio with
+  the deterministic virtual clock, and asyncio with the real clock);
+* ``mpc_n4`` -- a full ΠCirEval multiplication on both backends.
+
+Throughput is delivered protocol messages per wall second -- the backends
+process identical message sequences (the virtual-clock asyncio run is
+bit-identical to the simulator's), so the ratio isolates pure runtime
+overhead: heap stepping vs coroutine/queue hops.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from bench_common import FIELD, record_bench
+from repro.broadcast.acast import AcastProtocol
+from repro.circuits import multiplication_circuit
+from repro.mpc import run_mpc
+from repro.runtime import make_backend
+from repro.sim import SynchronousNetwork
+
+
+def _run_acast_on(backend: str, n: int, length: int, seed: int = 0, **options) -> Dict[str, float]:
+    built = make_backend(backend, n, network=SynchronousNetwork(), seed=seed, **options)
+    faults = (n - 1) // 3
+    message = [FIELD(3 * index + 1) for index in range(length)]
+
+    def factory(party):
+        return AcastProtocol(
+            party,
+            "acast",
+            sender=1,
+            faults=faults,
+            message=message if party.id == 1 else None,
+        )
+
+    start = time.perf_counter()
+    result = built.run(factory, max_time=500.0)
+    wall = time.perf_counter() - start
+    outputs = result.honest_outputs()
+    assert len(outputs) == n, f"{backend}: only {len(outputs)}/{n} parties delivered"
+    delivered = result.metrics.messages_delivered
+    return {
+        "wall_s": wall,
+        "messages_delivered": float(delivered),
+        "messages_per_s": delivered / wall if wall else float("inf"),
+    }
+
+
+def _run_mpc_on(backend: str, n: int, seed: int = 0, **options) -> Dict[str, float]:
+    circuit = multiplication_circuit(FIELD, n)
+    inputs = {pid: pid + 1 for pid in range(1, n + 1)}
+    expected = circuit.evaluate({pid: FIELD(v) for pid, v in inputs.items()})
+    start = time.perf_counter()
+    result = run_mpc(circuit, inputs, n=n, ts=(n - 1) // 3 if n > 3 else 1, ta=0,
+                     seed=seed, backend=backend, **options)
+    wall = time.perf_counter() - start
+    assert result.outputs == expected, f"{backend}: wrong MPC output"
+    delivered = result.metrics.messages_delivered
+    return {
+        "wall_s": wall,
+        "messages_delivered": float(delivered),
+        "messages_per_s": delivered / wall if wall else float("inf"),
+    }
+
+
+def bench_acast_n16() -> Dict[str, Dict[str, float]]:
+    n, length = 16, 256
+    rows = {
+        "sim": _run_acast_on("sim", n, length),
+        "asyncio_virtual": _run_acast_on("asyncio", n, length),
+        "asyncio_real": _run_acast_on("asyncio", n, length, clock="real", time_scale=0.0002),
+    }
+    payload: Dict[str, float] = {"n": float(n), "vector_len": float(length)}
+    for name, row in rows.items():
+        for key, value in row.items():
+            payload[f"{name}_{key}"] = value
+    payload["asyncio_virtual_vs_sim_wall"] = rows["asyncio_virtual"]["wall_s"] / rows["sim"]["wall_s"]
+    record_bench("runtime", f"acast_n{n}_len{length}", payload)
+    return rows
+
+
+def bench_mpc_n4() -> Dict[str, Dict[str, float]]:
+    rows = {
+        "sim": _run_mpc_on("sim", 4),
+        "asyncio_virtual": _run_mpc_on("asyncio", 4),
+    }
+    payload: Dict[str, float] = {"n": 4.0}
+    for name, row in rows.items():
+        for key, value in row.items():
+            payload[f"{name}_{key}"] = value
+    record_bench("runtime", "mpc_n4_multiplication", payload)
+    return rows
+
+
+def smoke():
+    """Tiny-size rot check used by the bench_smoke tier-1 marker."""
+    rows = {
+        "sim": _run_acast_on("sim", 4, 8),
+        "asyncio_virtual": _run_acast_on("asyncio", 4, 8),
+    }
+    assert rows["sim"]["messages_delivered"] == rows["asyncio_virtual"]["messages_delivered"]
+    return rows
+
+
+def main() -> None:
+    print("runtime throughput: Acast n=16 ...")
+    for name, row in bench_acast_n16().items():
+        print(f"  {name:16s} wall {row['wall_s']*1000:8.1f} ms   "
+              f"{row['messages_per_s']:10.0f} msg/s")
+    print("runtime throughput: MPC n=4 ...")
+    for name, row in bench_mpc_n4().items():
+        print(f"  {name:16s} wall {row['wall_s']*1000:8.1f} ms   "
+              f"{row['messages_per_s']:10.0f} msg/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -58,7 +58,7 @@ class AgreementOnCommonSubset(ProtocolInstance):
         self.num_polynomials = num_polynomials
         self.polynomials = polynomials
         self.anchor = anchor
-        self.delta = delta if delta is not None else party.simulator.delta
+        self.delta = delta if delta is not None else party.delta
         self.truncate_to = truncate_to
 
         self.vss: Dict[int, VerifiableSecretSharing] = {}

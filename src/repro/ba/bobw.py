@@ -40,7 +40,7 @@ class BestOfBothWorldsBA(ProtocolInstance):
     ):
         super().__init__(party, tag)
         self.faults = faults
-        self.delta = delta if delta is not None else party.simulator.delta
+        self.delta = delta if delta is not None else party.delta
         self.anchor = anchor
         self.value = None if value is None else int(value)
         self._bc: Dict[int, BroadcastProtocol] = {}

@@ -50,7 +50,7 @@ class PhaseKingSBA(ProtocolInstance):
     ):
         super().__init__(party, tag)
         self.faults = faults
-        self.delta = delta if delta is not None else party.simulator.delta
+        self.delta = delta if delta is not None else party.delta
         self.value = value
         self._round_inbox: Dict[int, Dict[int, Any]] = {}
         self._phase = 1

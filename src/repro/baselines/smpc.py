@@ -55,7 +55,7 @@ class SynchronousMPC(ProtocolInstance):
         self.faults = faults
         self.my_inputs = list(my_inputs) if my_inputs is not None else []
         self.triples = list(triples) if triples is not None else []
-        self.delta = delta if delta is not None else party.simulator.delta
+        self.delta = delta if delta is not None else party.delta
 
         self._wire_shares: Dict[int, FieldElement] = {}
         self._input_shares: Dict[Tuple[int, int], FieldElement] = {}

@@ -62,7 +62,7 @@ class BroadcastProtocol(ProtocolInstance):
         super().__init__(party, tag)
         self.sender = sender
         self.faults = faults
-        self.delta = delta if delta is not None else party.simulator.delta
+        self.delta = delta if delta is not None else party.delta
         self.anchor = anchor
         # Packed here as well as in provide_input, so self.message holds the
         # same representation on both input paths (the one the Acast and SBA

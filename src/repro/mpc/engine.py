@@ -13,15 +13,16 @@ This is the entry point the examples use::
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 from repro.circuits.circuit import Circuit
 from repro.field.array import set_batch_enabled
 from repro.field.gf import GF, FieldElement
 from repro.mpc.protocol import CircuitEvaluation
 from repro.sim.adversary import Behavior
-from repro.sim.network import NetworkModel, SynchronousNetwork
+from repro.sim.network import NetworkModel
 from repro.sim.runner import ProtocolRunner, RunResult
+from repro.triples.preprocessing import auto_shard_size
 
 
 class MPCResult:
@@ -60,7 +61,7 @@ class MPCResult:
 
     @property
     def common_subset(self) -> Optional[List[int]]:
-        for pid in self.run.simulator.honest_party_ids():
+        for pid in self.run.backend.honest_party_ids():
             instance = self.run.instances[pid]
             if getattr(instance, "common_subset", None) is not None:
                 return instance.common_subset
@@ -92,9 +93,12 @@ def run_mpc(
     max_time: Optional[float] = None,
     max_events: Optional[int] = None,
     batch: Optional[bool] = None,
-    shard_size: Optional[int] = None,
+    shard_size: Union[int, str, None] = None,
+    bandwidth_budget: Optional[int] = None,
+    backend: Union[str, type, Any] = "sim",
+    **backend_options: Any,
 ) -> MPCResult:
-    """Run ΠCirEval end-to-end on the simulated network and return the result.
+    """Run ΠCirEval end-to-end and return the result.
 
     ``inputs`` maps party ids to their private input (parties absent from the
     map input 0).  ``corrupt`` attaches Byzantine behaviours to party ids.
@@ -106,13 +110,36 @@ def run_mpc(
     round then carries more than ``shard_size`` triples per dealer, bounding
     the per-round message size of triple-heavy circuits at the cost of more
     (sequential) sharing rounds.  None (the default) keeps the single
-    unsharded round.  The circuit outputs are independent of the sharding
-    (the triples are random masks), so any ``shard_size`` yields the same
-    result values.
+    unsharded round; ``"auto"`` picks the largest shard whose
+    :func:`~repro.analysis.metrics.sharded_triple_message_bound` fits the
+    per-round ``bandwidth_budget`` (in bits).  The circuit outputs are
+    independent of the sharding (the triples are random masks), so any
+    ``shard_size`` yields the same result values.
+
+    ``backend`` selects the execution runtime: ``"sim"`` (the deterministic
+    discrete-event simulator, the default) or ``"asyncio"`` (concurrent
+    coroutine parties over an in-process transport); ``backend_options`` are
+    forwarded to the backend constructor (e.g. ``clock="real"``).
     """
     check_parameters(n, ts, ta)
-    runner = ProtocolRunner(n, network=network or SynchronousNetwork(), field=field, seed=seed,
-                            corrupt=corrupt)
+    # The backends default an absent network to SynchronousNetwork; passing
+    # None through keeps already-built backend instances usable here.
+    runner = ProtocolRunner(n, network=network, field=field, seed=seed,
+                            corrupt=corrupt, backend=backend, **backend_options)
+    if shard_size == "auto":
+        if bandwidth_budget is None:
+            raise ValueError('shard_size="auto" requires a bandwidth_budget (bits)')
+        # runner.field covers every source of the field, including one baked
+        # into a prebuilt backend instance.
+        shard_size = auto_shard_size(
+            n,
+            ts,
+            max(1, circuit.multiplication_count),
+            runner.field.element_bits(),
+            bandwidth_budget,
+        )
+    elif bandwidth_budget is not None:
+        raise ValueError('bandwidth_budget is only meaningful with shard_size="auto"')
 
     def factory(party):
         my_input = inputs.get(party.id, 0)

@@ -82,7 +82,7 @@ class CircuitEvaluation(ProtocolInstance):
         self.ta = ta
         self.my_inputs = list(my_inputs) if my_inputs is not None else []
         self.anchor = anchor
-        self.delta = delta if delta is not None else party.simulator.delta
+        self.delta = delta if delta is not None else party.delta
         #: Bound on triples per ΠTripSh round (None = unsharded preprocessing).
         self.shard_size = shard_size
 

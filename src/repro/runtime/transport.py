@@ -1,0 +1,172 @@
+"""Transports: the delivery fabric of the asyncio party runtime.
+
+A :class:`Transport` owns one inbox per party and moves already-delayed
+messages into them; *when* a message is handed to the transport is the
+backend's decision (the virtual-clock scheduler delivers at the popped event
+time, the real clock after a genuine ``asyncio.sleep``).  The interface is
+deliberately socket-shaped -- ``open`` / ``deliver`` / ``crash`` / ``close``
+with per-party queues -- so a TCP or unix-socket transport can replace the
+in-process queue pairs without touching any protocol or backend logic.
+
+Transport-level faults (crash-stop of a party's endpoint, duplicated and
+reordered deliveries) live here too: they model the *network's* misbehaviour
+as opposed to the Byzantine :class:`~repro.sim.adversary.Behavior` hooks,
+which model a corrupt party's.  All random draws come from an injected
+``random.Random`` so faulty executions replay from their seed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+
+class TransportFaults:
+    """Fault model applied to every non-self delivery.
+
+    ``duplicate_probability`` enqueues a second copy right after the first
+    (protocols must be idempotent); ``reorder_probability`` holds a message
+    back until the *next* delivery to the same recipient, swapping adjacent
+    arrivals (asynchronous channels need not preserve sending order);
+    ``drop_probability`` loses the message outright -- note that dropping
+    honest messages violates eventual delivery, so tests using it must not
+    expect liveness.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        duplicate_probability: float = 0.0,
+        reorder_probability: float = 0.0,
+        drop_probability: float = 0.0,
+    ):
+        for name, p in (
+            ("duplicate_probability", duplicate_probability),
+            ("reorder_probability", reorder_probability),
+            ("drop_probability", drop_probability),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if not isinstance(rng, random.Random):
+            raise TypeError(
+                "TransportFaults requires an injected random.Random instance "
+                "(module-global random would make faulty runs unreproducible)"
+            )
+        self.rng = rng
+        self.duplicate_probability = duplicate_probability
+        self.reorder_probability = reorder_probability
+        self.drop_probability = drop_probability
+
+
+class Transport:
+    """Base transport: per-party inboxes plus endpoint lifecycle."""
+
+    def open(self, party_ids: Sequence[int]) -> None:
+        """Create the endpoint for every party (called inside the loop)."""
+        raise NotImplementedError
+
+    def inbox(self, party_id: int):
+        """The queue the party's receive loop consumes."""
+        raise NotImplementedError
+
+    def deliver(self, message) -> List[Tuple[object, asyncio.Event]]:
+        """Enqueue a message; returns the (message, handled-event) pairs
+        actually enqueued (possibly none -- crashed endpoint or a fault --
+        or several -- duplication)."""
+        raise NotImplementedError
+
+    def crash(self, party_id: int) -> None:
+        """Crash-stop a party's endpoint: no further deliveries to it."""
+        raise NotImplementedError
+
+    @property
+    def crashed(self) -> Set[int]:
+        raise NotImplementedError
+
+    def flush_reordered(self) -> List[Tuple[object, asyncio.Event]]:
+        """Release any held-back (reordered) messages; returns the pairs."""
+        return []
+
+    def close(self) -> None:
+        """Tear down every endpoint."""
+
+
+class InProcessTransport(Transport):
+    """Queue-pair transport: one ``asyncio.Queue`` inbox per party.
+
+    The production-shaped default for :class:`AsyncioBackend`.  Each inbox
+    item is ``(message, handled)`` where ``handled`` is an ``asyncio.Event``
+    the receive loop sets once the message has been processed -- the
+    virtual-clock scheduler awaits it so event handling stays totally
+    ordered (and hence deterministic); the real clock ignores it.
+    """
+
+    def __init__(self, faults: Optional[TransportFaults] = None):
+        self.faults = faults
+        self._inboxes: Dict[int, asyncio.Queue] = {}
+        self._crashed: Set[int] = set()
+        #: recipient -> message held back by a reorder fault.
+        self._held: Dict[int, object] = {}
+
+    def open(self, party_ids: Sequence[int]) -> None:
+        self._inboxes = {pid: asyncio.Queue() for pid in party_ids}
+        self._crashed = set()
+        self._held = {}
+
+    def inbox(self, party_id: int) -> asyncio.Queue:
+        return self._inboxes[party_id]
+
+    @property
+    def crashed(self) -> Set[int]:
+        return self._crashed
+
+    def crash(self, party_id: int) -> None:
+        self._crashed.add(party_id)
+        self._held.pop(party_id, None)
+
+    def _enqueue(self, message) -> Tuple[object, asyncio.Event]:
+        handled = asyncio.Event()
+        self._inboxes[message.recipient].put_nowait((message, handled))
+        return (message, handled)
+
+    def deliver(self, message) -> List[Tuple[object, asyncio.Event]]:
+        recipient = message.recipient
+        if recipient in self._crashed or message.sender in self._crashed:
+            return []
+        faults = self.faults
+        delivered: List[Tuple[object, asyncio.Event]] = []
+        if faults is not None and message.sender != recipient:
+            if faults.drop_probability and faults.rng.random() < faults.drop_probability:
+                return []
+            if (
+                faults.reorder_probability
+                and recipient not in self._held
+                and faults.rng.random() < faults.reorder_probability
+            ):
+                # Hold this one back; it jumps the queue behind the next
+                # delivery to the same recipient (adjacent swap).
+                self._held[recipient] = message
+                return []
+            delivered.append(self._enqueue(message))
+            if faults.duplicate_probability and faults.rng.random() < faults.duplicate_probability:
+                delivered.append(self._enqueue(message))
+            held = self._held.pop(recipient, None)
+            if held is not None:
+                delivered.append(self._enqueue(held))
+            return delivered
+        delivered.append(self._enqueue(message))
+        return delivered
+
+    def flush_reordered(self) -> List[Tuple[object, asyncio.Event]]:
+        released = []
+        for recipient in sorted(self._held):
+            if recipient in self._crashed:
+                continue
+            released.append(self._enqueue(self._held[recipient]))
+        self._held = {}
+        return released
+
+    def close(self) -> None:
+        self._inboxes = {}
+        self._held = {}

@@ -27,8 +27,10 @@ from repro.sharing.wps import (
     BivariateSharingMixin,
     WeakPolynomialSharing,
     make_bivariates,
+    pack_rows,
     pairwise_nok_conflict,
     rows_for_all_parties,
+    unpack_rows,
     wps_time_bound,
 )
 from repro.sim.party import Party, ProtocolInstance
@@ -71,7 +73,7 @@ class VerifiableSecretSharing(BivariateSharingMixin, ProtocolInstance):
         self.num_polynomials = num_polynomials
         self.polynomials = polynomials
         self.anchor = anchor
-        self.delta = delta if delta is not None else party.simulator.delta
+        self.delta = delta if delta is not None else party.delta
 
         # Dealer-side state.
         self._bivariates: Optional[List[SymmetricBivariatePolynomial]] = None
@@ -209,13 +211,13 @@ class VerifiableSecretSharing(BivariateSharingMixin, ProtocolInstance):
         self._bivariates = make_bivariates(self.field, self.polynomials, self.rng)
         ids = self.party.all_party_ids()
         for j, rows in zip(ids, rows_for_all_parties(self.field, self._bivariates, ids)):
-            self.send(j, ("polys", rows))
+            self.send(j, ("polys", pack_rows(self.field, rows)))
 
     # -- message handling ------------------------------------------------------------------
     def receive(self, sender: int, payload: Any) -> None:
         kind = payload[0]
         if kind == "polys" and sender == self.dealer and self.my_rows is None:
-            rows = payload[1]
+            rows = unpack_rows(payload[1])
             if self._valid_rows(rows):
                 self.my_rows = rows
                 self._schedule_my_wps_input()

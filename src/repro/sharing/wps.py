@@ -16,6 +16,7 @@ from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.ba.aba import aba_nominal_time_bound
 from repro.ba.bobw import BestOfBothWorldsBA
+from repro.broadcast.acast import PackedFieldVector
 from repro.broadcast.bc import BroadcastProtocol, bc_time_bound
 from repro.codes.oec import BatchOnlineErrorCorrector, OnlineErrorCorrector
 from repro.field.array import batch_enabled, batch_evaluate
@@ -29,6 +30,91 @@ from repro.timing import epsilon, next_multiple_of_delta
 
 OK_VERDICT = "OK"
 NOK_VERDICT = "NOK"
+
+
+class PackedPolynomialRows:
+    """Dealer row-distribution payload: L univariate rows as one packed vector.
+
+    The WPS/VSS dealer's heaviest message is its per-party row distribution
+    (L degree-t_s polynomials).  The batched path concatenates every row's
+    coefficient residues into a single :class:`PackedFieldVector` plus the
+    per-row coefficient counts, so the payload crosses the wire as plain
+    ints (one cached digest, no per-coefficient boxing) and the receiver
+    decodes through ``Polynomial.from_reduced_ints``.  The per-row lengths
+    preserve the exact (trailing-zero-stripped) coefficient lists, so
+    :meth:`payload_bits` accounts identically to the unpacked list of
+    :class:`Polynomial` objects and batch/scalar transcripts agree bit for
+    bit.
+    """
+
+    __slots__ = ("vector", "lengths")
+
+    def __init__(self, vector: PackedFieldVector, lengths: Tuple[int, ...]):
+        if sum(lengths) != len(vector) or any(length < 1 for length in lengths):
+            raise ValueError("row lengths do not partition the packed vector")
+        self.vector = vector
+        self.lengths = tuple(lengths)
+
+    @classmethod
+    def pack(cls, field, rows: List[Polynomial]) -> "PackedPolynomialRows":
+        values = [int(c) for row in rows for c in row.coeffs]
+        return cls(
+            PackedFieldVector(field, values, _normalized=True),
+            tuple(len(row.coeffs) for row in rows),
+        )
+
+    def rows(self) -> List[Polynomial]:
+        """Receive-side decode back to the dealer's polynomial rows."""
+        field = self.vector.field
+        values = self.vector.values
+        rows: List[Polynomial] = []
+        position = 0
+        for length in self.lengths:
+            rows.append(
+                Polynomial.from_reduced_ints(field, values[position:position + length])
+            )
+            position += length
+        return rows
+
+    def payload_bits(self) -> int:
+        """Same accounting as the unpacked list of polynomials."""
+        return self.vector.payload_bits()
+
+    def __len__(self) -> int:
+        return len(self.lengths)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PackedPolynomialRows):
+            return self.lengths == other.lengths and self.vector == other.vector
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.lengths, self.vector))
+
+    def __repr__(self) -> str:
+        return f"PackedPolynomialRows(rows={len(self.lengths)}, coeffs={len(self.vector)})"
+
+
+def pack_rows(field, rows: List[Polynomial]):
+    """Pack a dealer's row list when batching is on (scalar twin: as-is)."""
+    if batch_enabled():
+        return PackedPolynomialRows.pack(field, rows)
+    return rows
+
+
+def unpack_rows(payload):
+    """Decode a row-distribution payload from either wire format.
+
+    Byzantine dealers may send arbitrary objects; malformed packed payloads
+    decode to ``None`` and fail the caller's row validation exactly like any
+    other garbage.
+    """
+    if isinstance(payload, PackedPolynomialRows):
+        try:
+            return payload.rows()
+        except (TypeError, ValueError, AttributeError, IndexError):
+            return None
+    return payload
 
 
 def make_bivariates(field, polynomials, rng):
@@ -157,7 +243,7 @@ class WeakPolynomialSharing(BivariateSharingMixin, ProtocolInstance):
         self.num_polynomials = num_polynomials
         self.polynomials = polynomials
         self.anchor = anchor
-        self.delta = delta if delta is not None else party.simulator.delta
+        self.delta = delta if delta is not None else party.delta
 
         # Dealer-side state.
         self._bivariates: Optional[List[SymmetricBivariatePolynomial]] = None
@@ -266,13 +352,13 @@ class WeakPolynomialSharing(BivariateSharingMixin, ProtocolInstance):
         self._bivariates = make_bivariates(self.field, self.polynomials, self.rng)
         ids = self.party.all_party_ids()
         for j, rows in zip(ids, rows_for_all_parties(self.field, self._bivariates, ids)):
-            self.send(j, ("polys", rows))
+            self.send(j, ("polys", pack_rows(self.field, rows)))
 
     # -- message handling -----------------------------------------------------------------
     def receive(self, sender: int, payload: Any) -> None:
         kind = payload[0]
         if kind == "polys" and sender == self.dealer and self.my_rows is None:
-            rows = payload[1]
+            rows = unpack_rows(payload[1])
             if self._valid_rows(rows):
                 self.my_rows = rows
                 self._schedule_point_sending()

@@ -84,9 +84,9 @@ class DelayBehavior(Behavior):
         if not self.tag_predicate(message.tag):
             return [message]
         delayed = message
-        party.simulator.schedule_timer(
+        party.runtime.schedule_timer(
             party.now + self.extra_delay,
-            lambda m=delayed: party.simulator._dispatch(m),
+            lambda m=delayed: party.runtime.dispatch(m),
         )
         return []
 
@@ -109,8 +109,9 @@ class WrongValueBehavior(Behavior):
         self.offset = offset
 
     def _perturb(self, value: Any) -> Any:
-        # Imported lazily: the broadcast package itself depends on sim.party.
+        # Imported lazily: the broadcast/sharing packages depend on sim.party.
         from repro.broadcast.acast import PackedFieldVector
+        from repro.sharing.wps import PackedPolynomialRows
 
         if isinstance(value, FieldElement):
             return value + self.offset
@@ -121,6 +122,12 @@ class WrongValueBehavior(Behavior):
             # unpacked twin, so equivocation attacks bite on both paths.
             return PackedFieldVector(
                 value.field, (value.as_array() + self.offset).values, _normalized=True
+            )
+        if isinstance(value, PackedPolynomialRows):
+            # Packed dealer rows perturb per coefficient, exactly like the
+            # unpacked list of Polynomial rows.
+            return PackedPolynomialRows(
+                self._perturb(value.vector), value.lengths
             )
         if isinstance(value, tuple):
             return tuple(self._perturb(v) for v in value)

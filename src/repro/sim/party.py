@@ -1,10 +1,16 @@
-"""Simulated parties and the protocol-instance abstraction.
+"""Parties and the protocol-instance abstraction.
 
 Every protocol from the paper is implemented as a :class:`ProtocolInstance`
 state machine.  A party runs many instances concurrently (e.g. all the
 ``Pi_WPS^(j)`` and ``Pi_BA`` instances inside a VSS); instances are addressed
 by hierarchical tags so that sub-protocol composition mirrors the paper's
 "the parties participate in instance Pi^(j)" phrasing.
+
+A party is execution-backend agnostic: everything it needs from its host --
+channels, timers, the clock, the static execution parameters -- goes through
+the :class:`~repro.runtime.api.PartyRuntime` context API, implemented both
+by the discrete-event :class:`~repro.sim.simulator.Simulator` and by the
+concurrent :class:`~repro.runtime.asyncio_backend.AsyncioBackend`.
 """
 
 from __future__ import annotations
@@ -13,7 +19,7 @@ import random
 from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.sim.simulator import Simulator
+    from repro.runtime.api import PartyRuntime
     from repro.sim.adversary import Behavior
 
 
@@ -25,40 +31,50 @@ class Party:
     randomness.
     """
 
-    def __init__(self, party_id: int, simulator: "Simulator", behavior: Optional["Behavior"] = None):
+    def __init__(self, party_id: int, runtime: "PartyRuntime", behavior: Optional["Behavior"] = None):
         from repro.sim.adversary import HonestBehavior
 
         self.id = party_id
-        self.simulator = simulator
+        self.runtime = runtime
         self.behavior = behavior or HonestBehavior()
-        self.rng = random.Random(simulator.rng.randrange(2 ** 62) ^ party_id)
+        self.rng = random.Random(runtime.rng.randrange(2 ** 62) ^ party_id)
         self.instances: Dict[str, ProtocolInstance] = {}
         self._buffered: Dict[str, List[tuple]] = {}
 
     # -- identity ----------------------------------------------------------
     @property
+    def simulator(self) -> "PartyRuntime":
+        """Historical alias for :attr:`runtime` (any backend, not only sim)."""
+        return self.runtime
+
+    @property
     def n(self) -> int:
-        return self.simulator.n
+        return self.runtime.n
 
     @property
     def is_corrupt(self) -> bool:
-        return self.id in self.simulator.corrupt_parties
+        return self.id in self.runtime.corrupt_parties
 
     @property
     def now(self) -> float:
-        return self.simulator.now
+        return self.runtime.now
 
     @property
     def field(self):
-        return self.simulator.field
+        return self.runtime.field
+
+    @property
+    def delta(self) -> float:
+        """The network's (assumed) synchronous delivery bound."""
+        return self.runtime.delta
 
     def all_party_ids(self) -> List[int]:
-        return list(range(1, self.simulator.n + 1))
+        return list(range(1, self.runtime.n + 1))
 
     # -- channels ----------------------------------------------------------
     def send(self, recipient: int, tag: str, payload: Any) -> None:
         """Send ``payload`` to ``recipient`` over the private channel."""
-        self.simulator.submit_message(self.id, recipient, tag, payload)
+        self.runtime.submit_message(self.id, recipient, tag, payload)
 
     def send_all(self, tag: str, payload: Any) -> None:
         """Send ``payload`` to every party (including self)."""
@@ -68,7 +84,7 @@ class Party:
     # -- timers ------------------------------------------------------------
     def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` at absolute simulated (local) time ``time``."""
-        self.simulator.schedule_timer(max(time, self.now), callback, owner=self.id)
+        self.runtime.schedule_timer(max(time, self.now), callback, owner=self.id)
 
     def schedule_after(self, delay: float, callback: Callable[[], None]) -> None:
         self.schedule_at(self.now + delay, callback)
@@ -86,7 +102,7 @@ class Party:
                 for sender, payload in buffered:
                     instance.receive(sender, payload)
 
-            self.simulator.schedule_timer(self.simulator.now, _replay, owner=self.id)
+            self.runtime.schedule_timer(self.runtime.now, _replay, owner=self.id)
 
     def get_instance(self, tag: str) -> Optional["ProtocolInstance"]:
         return self.instances.get(tag)

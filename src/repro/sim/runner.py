@@ -1,59 +1,38 @@
-"""Convenience harness for setting up and running protocol executions."""
+"""Convenience harness for setting up and running protocol executions.
+
+:class:`ProtocolRunner` is a thin facade over the pluggable execution
+backends in :mod:`repro.runtime`: ``backend="sim"`` (the default) builds the
+deterministic discrete-event :class:`~repro.runtime.sim_backend.SimBackend`,
+``backend="asyncio"`` the concurrent
+:class:`~repro.runtime.asyncio_backend.AsyncioBackend`; an
+:class:`~repro.runtime.api.ExecutionBackend` subclass or instance is used
+directly.  :class:`RunResult` lives in :mod:`repro.runtime.api` and is
+re-exported here for the historical import path.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Set
+from typing import Any, Callable, Dict, Optional, Union
 
-from repro.field.gf import GF, default_field
+from repro.field.gf import GF
+from repro.runtime import make_backend
+from repro.runtime.api import ExecutionBackend, RunResult
 from repro.sim.adversary import Behavior
-from repro.sim.network import NetworkModel, SynchronousNetwork
+from repro.sim.network import NetworkModel
 from repro.sim.party import Party, ProtocolInstance
-from repro.sim.simulator import Simulator
 
-
-class RunResult:
-    """Outcome of a protocol execution across all parties."""
-
-    def __init__(self, simulator: Simulator, instances: Dict[int, ProtocolInstance]):
-        self.simulator = simulator
-        self.instances = instances
-
-    @property
-    def metrics(self):
-        return self.simulator.metrics
-
-    def output_of(self, party_id: int) -> Any:
-        return self.instances[party_id].output
-
-    def output_time_of(self, party_id: int) -> Optional[float]:
-        return self.instances[party_id].output_time
-
-    def honest_outputs(self) -> Dict[int, Any]:
-        return {
-            pid: self.instances[pid].output
-            for pid in self.simulator.honest_party_ids()
-            if self.instances[pid].has_output
-        }
-
-    def honest_output_times(self) -> Dict[int, float]:
-        return {
-            pid: self.instances[pid].output_time
-            for pid in self.simulator.honest_party_ids()
-            if self.instances[pid].has_output
-        }
-
-    def all_honest_done(self) -> bool:
-        return all(
-            self.instances[pid].has_output for pid in self.simulator.honest_party_ids()
-        )
+__all__ = ["ProtocolRunner", "RunResult"]
 
 
 class ProtocolRunner:
-    """Builds a simulator, instantiates a protocol at every party, and runs it.
+    """Builds an execution backend, instantiates a protocol at every party,
+    and runs it.
 
-    ``factory(party)`` must return the root :class:`ProtocolInstance` for that
-    party; corrupt parties get their behaviour attached before instantiation
-    so dealer-style attacks already apply to the first messages.
+    ``factory(party)`` must return the root :class:`ProtocolInstance` for
+    that party; corrupt parties get their behaviour attached before
+    instantiation so dealer-style attacks already apply to the first
+    messages.  ``backend_options`` are forwarded to the backend constructor
+    (e.g. ``clock="real"`` or ``transport=...`` for the asyncio backend).
     """
 
     def __init__(
@@ -63,24 +42,31 @@ class ProtocolRunner:
         field: Optional[GF] = None,
         seed: int = 0,
         corrupt: Optional[Dict[int, Behavior]] = None,
+        backend: Union[str, type, ExecutionBackend] = "sim",
+        **backend_options: Any,
     ):
-        self.simulator = Simulator(
+        self.backend = make_backend(
+            backend,
             n,
-            network=network or SynchronousNetwork(),
-            field=field or default_field(),
+            network=network,
+            field=field,
             seed=seed,
-            corrupt_parties=set(corrupt or {}),
+            corrupt=corrupt,
+            **backend_options,
         )
-        for party_id, behavior in (corrupt or {}).items():
-            self.simulator.set_behavior(party_id, behavior)
+
+    @property
+    def simulator(self):
+        """The underlying :class:`Simulator` (sim backend; else the backend)."""
+        return getattr(self.backend, "simulator", self.backend)
 
     @property
     def field(self) -> GF:
-        return self.simulator.field
+        return self.backend.field
 
     @property
     def parties(self) -> Dict[int, Party]:
-        return self.simulator.parties
+        return self.backend.parties
 
     def run(
         self,
@@ -91,20 +77,10 @@ class ProtocolRunner:
         extra_predicate: Optional[Callable[[], bool]] = None,
     ) -> RunResult:
         """Instantiate, start and run the protocol to completion."""
-        instances: Dict[int, ProtocolInstance] = {}
-        for party_id, party in self.simulator.parties.items():
-            instances[party_id] = factory(party)
-        for instance in instances.values():
-            instance.start()
-
-        def done() -> bool:
-            if extra_predicate is not None and extra_predicate():
-                return True
-            if not wait_for_all_honest:
-                return False
-            return all(
-                instances[pid].has_output for pid in self.simulator.honest_party_ids()
-            )
-
-        self.simulator.run(until=done, max_time=max_time, max_events=max_events)
-        return RunResult(self.simulator, instances)
+        return self.backend.run(
+            factory,
+            max_time=max_time,
+            max_events=max_events,
+            wait_for_all_honest=wait_for_all_honest,
+            extra_predicate=extra_predicate,
+        )

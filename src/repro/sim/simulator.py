@@ -8,6 +8,7 @@ import random
 from typing import Any, Callable, Dict, List, Optional, Set
 
 from repro.field.gf import GF, default_field
+from repro.runtime.api import PartyRuntime, account_dispatch
 from repro.sim.messages import Message
 from repro.sim.network import NetworkModel, SynchronousNetwork
 from repro.sim.party import Party
@@ -59,12 +60,17 @@ class SimulationMetrics:
         self.messages_delivered += 1
 
 
-class Simulator:
+class Simulator(PartyRuntime):
     """Priority-queue discrete-event simulator.
 
     Events are message deliveries and local timers.  Parties share a global
     simulated clock (the paper's synchronous model assumes synchronised
     clocks; in the asynchronous model only message delays change).
+
+    The simulator is one implementation of the
+    :class:`~repro.runtime.api.PartyRuntime` context API; protocols only see
+    that interface, so the same code also runs under the concurrent
+    :class:`~repro.runtime.asyncio_backend.AsyncioBackend`.
     """
 
     def __init__(
@@ -104,20 +110,11 @@ class Simulator:
         message = Message(sender, recipient, tag, payload, self.now)
         outgoing = sender_party.behavior.filter_send(sender_party, message)
         for msg in outgoing:
-            self._dispatch(msg)
+            self.dispatch(msg)
 
-    def _dispatch(self, message: Message) -> None:
-        if message.sender == message.recipient:
-            # Self-delivery is local: immediate-ish and free of charge.
-            delay = 1e-9
-        else:
-            delay = max(self.network.delay(message, self.rng), 1e-9)
-            delta = self.network.delta
-            round_index = int(self.now / delta) if delta > 0 else 0
-            self.metrics.record_send(
-                message, message.sender in self.corrupt_parties, round_index
-            )
-        deliver_at = self.now + delay
+    def dispatch(self, message: Message) -> None:
+        """Put an already-filtered message on the wire (delays drawn here)."""
+        deliver_at = self.now + account_dispatch(self, message)
         # Messages get priority 0 so that, at equal timestamps, deliveries are
         # processed before timers: a timer that "evaluates at time T" sees
         # every message that arrived "within time T", matching the paper's
@@ -126,6 +123,9 @@ class Simulator:
             self._event_heap,
             (deliver_at, 0, next(self._counter), "message", message),
         )
+
+    #: Historical name for :meth:`dispatch` (pre-runtime-refactor callers).
+    _dispatch = dispatch
 
     def schedule_timer(self, time: float, callback: Callable[[], None], owner: int = 0) -> None:
         heapq.heappush(

@@ -72,6 +72,32 @@ def shard_bounds(per_dealer: int, shard_size: Optional[int]) -> List[Tuple[int, 
     ]
 
 
+def auto_shard_size(
+    n: int, ts: int, c_m: int, element_bits: int, bandwidth_budget: int
+) -> Optional[int]:
+    """Largest ``shard_size`` whose per-round triple message fits the budget.
+
+    ``bandwidth_budget`` caps the heaviest single message (in bits) any
+    protocol round may carry, per
+    :func:`repro.analysis.metrics.sharded_triple_message_bound`.  Returns
+    ``None`` (unsharded) when the whole bank already fits -- sharding only
+    costs latency, so the largest admissible shard is always preferred --
+    and clamps to 1 when even a single triple per round exceeds the budget
+    (the protocol cannot subdivide further).
+    """
+    from repro.analysis.metrics import sharded_triple_message_bound
+
+    per_dealer = triples_per_dealer(n, ts, c_m)
+    # The bound is affine in shard_size, so invert it in closed form:
+    # bound(s) = s * bits_per_triple + slack.
+    slack = sharded_triple_message_bound(0, ts, element_bits)
+    bits_per_triple = sharded_triple_message_bound(1, ts, element_bits) - slack
+    size = (bandwidth_budget - slack) // bits_per_triple
+    if size >= per_dealer:
+        return None
+    return max(int(size), 1)
+
+
 def preprocessing_time_bound(
     n: int, ts: int, delta: float, shard_size: Optional[int] = None, c_m: int = 1
 ) -> float:
@@ -119,7 +145,7 @@ class Preprocessing(ProtocolInstance):
         self.ta = ta
         self.num_triples = num_triples
         self.anchor = anchor
-        self.delta = delta if delta is not None else party.simulator.delta
+        self.delta = delta if delta is not None else party.delta
         self.per_dealer = triples_per_dealer(self.n, ts, num_triples)
         self.shard_size = shard_size
         self._shard_bounds = shard_bounds(self.per_dealer, shard_size)

@@ -9,14 +9,18 @@ When batching is enabled (the default, see
 :func:`repro.field.array.batch_enabled`) one
 :class:`~repro.codes.oec.BatchOnlineErrorCorrector` decodes all values per
 incoming share vector, amortizing the interpolation matrices across the
-batch; otherwise the original per-value scalar correctors run as the
-reference path.  Both produce identical outputs.
+batch, and the outgoing share vectors cross the wire as
+:class:`~repro.broadcast.acast.PackedFieldVector` payloads (int residues,
+decoded back to boxed elements on receive); otherwise the original
+per-value scalar correctors and element lists run as the reference path.
+Both produce identical outputs with identical bit accounting.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.broadcast.acast import PackedFieldVector, maybe_pack_payload
 from repro.codes.oec import BatchOnlineErrorCorrector, OnlineErrorCorrector
 from repro.field.array import batch_enabled
 from repro.field.gf import FieldElement
@@ -73,7 +77,7 @@ class PublicReconstruction(ProtocolInstance):
                 OnlineErrorCorrector(self.field, self.degree, self.faults)
                 for _ in self.shares
             ]
-        self.send_all(("shares", list(self.shares)))
+        self.send_all(("shares", maybe_pack_payload(list(self.shares))))
         for sender, values in list(self._buffer.items()):
             self._absorb(sender, values)
         self._buffer.clear()
@@ -82,6 +86,9 @@ class PublicReconstruction(ProtocolInstance):
         if payload[0] != "shares":
             return
         values = payload[1]
+        if isinstance(values, PackedFieldVector):
+            # Receive-side decode of the packed batch path.
+            values = values.elements()
         if not self._begun:
             if sender not in self._buffer:
                 self._buffer[sender] = values

@@ -84,7 +84,7 @@ class TripleSharing(ProtocolInstance):
         self.ta = ta
         self.num_triples = num_triples
         self.anchor = anchor
-        self.delta = delta if delta is not None else party.simulator.delta
+        self.delta = delta if delta is not None else party.delta
         self._dealer_triples = list(dealer_triples) if dealer_triples is not None else None
 
         self._vss: Optional[VerifiableSecretSharing] = None
