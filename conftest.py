@@ -22,7 +22,24 @@ if os.path.isdir(_BENCH) and _BENCH not in sys.path:
     sys.path.append(_BENCH)
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--field-kernel",
+        action="store",
+        default=None,
+        choices=("int", "numpy"),
+        help="Run the whole suite under one numerical field kernel backend "
+        "(default: auto-select numpy when importable). Both kernels are "
+        "exact, so the suite must pass identically under either.",
+    )
+
+
 def pytest_configure(config):
+    requested = config.getoption("--field-kernel")
+    if requested:
+        from repro.field.kernels import set_kernel_backend
+
+        set_kernel_backend(requested)
     config.addinivalue_line("markers", "slow: long-running test")
     config.addinivalue_line(
         "markers",

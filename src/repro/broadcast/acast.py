@@ -28,6 +28,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set
 
 from repro.field.array import FieldArray, batch_enabled
 from repro.field.gf import GF, FieldElement
+from repro.field.kernels import get_kernel
 from repro.sim.party import Party, ProtocolInstance
 
 _INIT = "init"
@@ -55,8 +56,12 @@ class PackedFieldVector:
         if _normalized:
             self.values = tuple(values)
         else:
-            p = field.modulus
-            self.values = tuple(int(v) % p for v in values)
+            # Vectorized residue reduction under the numpy kernel (long
+            # payload vectors are the whole point of packing).
+            kernel = get_kernel()
+            self.values = tuple(
+                kernel.to_list(kernel.normalize(field.modulus, values))
+            )
         self._digest = hash((field.modulus, self.values))
 
     @classmethod

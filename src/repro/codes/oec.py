@@ -14,7 +14,9 @@ import enum
 from typing import Dict, List, Optional, Sequence
 
 from repro.codes.reed_solomon import rs_decode, rs_decode_batch
+from repro.field.array import FieldArray
 from repro.field.gf import GF, FieldElement
+from repro.field.kernels import get_kernel
 from repro.field.polynomial import Polynomial
 
 
@@ -107,6 +109,11 @@ class BatchOnlineErrorCorrector:
         self.max_faults = max_faults
         self._order: List[int] = []
         self._rows: Dict[int, List[Optional[int]]] = {}
+        #: True once any sender row carried a None; while False, every
+        #: undecoded column shares the full sender set and try_decode can
+        #: skip the per-column grouping scan (sticky-conservative: merges
+        #: that later fill the gaps do not clear it).
+        self._has_gaps = False
         self.polynomials: List[Optional[Polynomial]] = [None] * count
         self.status = OECStatus.DONE if count == 0 else OECStatus.WAITING
 
@@ -125,9 +132,16 @@ class BatchOnlineErrorCorrector:
         x_val = int(self.field(x))
         row = self._rows.get(x_val)
         if row is None:
-            self._rows[x_val] = [
-                None if v is None else int(v) % p for v in values
-            ]
+            if isinstance(values, FieldArray):
+                # Already-reduced residues, no Nones: keep the kernel-native
+                # storage (a uint64 row under the numpy backend) -- never
+                # mutated, since merge writes only fill None slots.
+                data = values.native
+                self._rows[x_val] = data if not isinstance(data, list) else values.tolist()
+            else:
+                normalized = [None if v is None else int(v) % p for v in values]
+                self._has_gaps = self._has_gaps or any(v is None for v in normalized)
+                self._rows[x_val] = normalized
             self._order.append(x_val)
         else:
             for column, value in enumerate(values):
@@ -140,18 +154,46 @@ class BatchOnlineErrorCorrector:
         if self.status is OECStatus.DONE:
             return True
         threshold = self.degree + self.max_faults + 1
-        # Group undecoded columns by the set of senders that reported them,
-        # so each group shares one rs_decode_batch call (and its matrices).
+        # No column can have reached the decode threshold before that many
+        # distinct senders reported -- skip the O(count * senders) grouping
+        # scan entirely for the early add_row calls.
+        if len(self._order) < threshold:
+            return False
+        undecoded = [
+            column for column in range(self.count)
+            if self.polynomials[column] is None
+        ]
         groups: Dict[tuple, List[int]] = {}
-        for column in range(self.count):
-            if self.polynomials[column] is not None:
-                continue
-            xs = tuple(x for x in self._order if self._rows[x][column] is not None)
-            if len(xs) < threshold:
-                continue
-            groups.setdefault(xs, []).append(column)
+        if not self._has_gaps:
+            # Gap-free batches (every sender reported every value, the
+            # common case): all undecoded columns share the full sender
+            # set, so the per-column grouping scan and the Python
+            # column-by-column transpose both collapse to one kernel
+            # transpose of the stored rows.
+            groups[tuple(self._order)] = undecoded
+        else:
+            # Group undecoded columns by the set of senders that reported
+            # them, so each group shares one rs_decode_batch call (and its
+            # matrices).
+            for column in undecoded:
+                xs = tuple(
+                    x for x in self._order if self._rows[x][column] is not None
+                )
+                if len(xs) < threshold:
+                    continue
+                groups.setdefault(xs, []).append(column)
+        kernel = get_kernel()
+        p = self.field.modulus
         for xs, columns in groups.items():
-            rows = [[self._rows[x][column] for x in xs] for column in columns]
+            if not self._has_gaps:
+                matrix = kernel.transpose(p, [self._rows[x] for x in xs])
+                rows = (
+                    matrix
+                    if len(columns) == self.count
+                    else kernel.take_rows(matrix, columns)
+                )
+            else:
+                rows = [[self._rows[x][column] for x in xs] for column in columns]
             decoded = rs_decode_batch(self.field, xs, rows, self.degree, self.max_faults)
             for column, poly in zip(columns, decoded):
                 if poly is not None:

@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.field.array import dot_mod, inverse_vandermonde, lagrange_matrix
 from repro.field.gf import GF, FieldElement
+from repro.field.kernels import get_kernel
 from repro.field.polynomial import Polynomial
 
 
@@ -164,12 +165,14 @@ def rs_decode_batch(
 ) -> List[Optional[Polynomial]]:
     """Decode many codewords that share the same evaluation points.
 
-    ``rows[k]`` holds the received values of codeword k over ``xs`` (ints or
-    FieldElements).  Fast path: the candidate polynomial through the first
-    ``degree + 1`` points is computed for every row against one cached
-    Lagrange matrix (a dot product per received point, no Gaussian
-    elimination) and accepted iff it meets exactly the :func:`rs_decode`
-    acceptance condition -- at most ``max_errors`` mismatches and at least
+    ``rows[k]`` holds the received values of codeword k over ``xs`` (ints,
+    FieldElements, or -- under the numpy kernel -- a ready ``uint64``
+    matrix).  Fast path: the candidate polynomial through the first
+    ``degree + 1`` points is computed for *all* rows at once against one
+    cached Lagrange matrix (a single kernel matrix product plus a
+    vectorized mismatch count, no Gaussian elimination) and accepted per
+    row iff it meets exactly the :func:`rs_decode` acceptance condition --
+    at most ``max_errors`` mismatches and at least
     ``degree + max_errors + 1`` agreeing points.  Rows whose leading points
     are corrupted fall back to the scalar Berlekamp-Welch reference path --
     but a batch typically shares one corruption pattern (the same corrupt
@@ -182,30 +185,58 @@ def rs_decode_batch(
     ``degree + 1`` honest agreeing points) holds.
     """
     p = field.modulus
+    kernel = get_kernel()
     xs_int = tuple(int(x) % p for x in xs)
     results: List[Optional[Polynomial]] = [None] * len(rows)
     n_points = len(xs_int)
     if n_points < degree + 1:
         return results
 
+    # Batched base-window candidate pass: every row shares the same window,
+    # so prediction at all points and coefficient extraction are two matrix
+    # products against cached matrices (limb-decomposed uint64 matmuls under
+    # the numpy kernel, the historical per-row dot products under "int").
+    matrix = kernel.as_matrix(p, rows)
+    base_window = tuple(range(degree + 1))
+    base_xs = tuple(xs_int[i] for i in base_window)
+    eval_matrix = lagrange_matrix(field, base_xs, xs_int)
+    heads = kernel.take_columns(matrix, base_window)
+    predicted = kernel.mat_rows(p, eval_matrix, heads, native=True)
+    mismatch = kernel.mismatch_counts(predicted, matrix)
+    accepted = [
+        index
+        for index, count in enumerate(mismatch)
+        if count <= max_errors and n_points - count >= degree + max_errors + 1
+    ]
+    if accepted:
+        coeff_matrix = inverse_vandermonde(field, base_xs)
+        coeff_rows = kernel.mat_rows(
+            p, coeff_matrix, kernel.take_rows(heads, accepted)
+        )
+        for index, coeffs in zip(accepted, coeff_rows):
+            results[index] = Polynomial.from_reduced_ints(field, coeffs)
+    if len(accepted) == len(results):
+        return results
+
     def try_window(window: Tuple[int, ...], values: List[int]) -> Optional[Polynomial]:
         window_xs = tuple(xs_int[i] for i in window)
-        eval_matrix = lagrange_matrix(field, window_xs, xs_int)
+        window_eval = lagrange_matrix(field, window_xs, xs_int)
         head = [values[i] for i in window]
-        predicted = [dot_mod(m_row, head, p) for m_row in eval_matrix]
+        predicted = [dot_mod(m_row, head, p) for m_row in window_eval]
         mismatches = sum(1 for a, b in zip(predicted, values) if a != b)
         if mismatches <= max_errors and n_points - mismatches >= degree + max_errors + 1:
-            coeff_matrix = inverse_vandermonde(field, window_xs)
-            coeffs = [dot_mod(c_row, head, p) for c_row in coeff_matrix]
-            return Polynomial(field, coeffs)
+            window_coeff = inverse_vandermonde(field, window_xs)
+            coeffs = [dot_mod(c_row, head, p) for c_row in window_coeff]
+            return Polynomial.from_reduced_ints(field, coeffs)
         return None
 
-    base_window = tuple(range(degree + 1))
     learned_window: Optional[Tuple[int, ...]] = None
-    for index, row in enumerate(rows):
-        values = [int(v) % p for v in row]
-        poly = try_window(base_window, values)
-        if poly is None and learned_window is not None:
+    for index in range(len(results)):
+        if results[index] is not None:
+            continue
+        values = kernel.matrix_row(matrix, index)
+        poly: Optional[Polynomial] = None
+        if learned_window is not None:
             poly = try_window(learned_window, values)
         if poly is None:
             points = list(zip(xs_int, values))

@@ -24,6 +24,15 @@ Every hot algebraic path in the reproduction exists twice:
   pairwise consistency grid are single cached-Vandermonde matrix
   products.
 
+Inside the batched twin, the actual residue arithmetic is pluggable
+(:mod:`repro.field.kernels`): the ``"int"`` kernel is the pure-Python
+reference, the ``"numpy"`` kernel stores GF(2**61 - 1) residues in uint64
+arrays and turns the cached-matrix applications into limb-decomposed
+matmuls.  Kernels are *exact* -- identical residues for identical inputs,
+no randomness -- so selecting one (``set_kernel_backend`` /
+``REPRO_FIELD_KERNEL`` / pytest ``--field-kernel``) can never change a
+transcript; ``tests/test_kernel_equivalence.py`` enforces it.
+
 The protocol layers select the twin via the module-level switch
 :func:`~repro.field.array.batch_enabled` /
 :func:`~repro.field.array.set_batch_enabled`.  Two rules keep the twins
@@ -42,6 +51,13 @@ interchangeable:
 """
 
 from repro.field.gf import GF, FieldElement, DEFAULT_PRIME, default_field
+from repro.field.kernels import (
+    available_kernel_backends,
+    get_kernel,
+    kernel_name,
+    numpy_available,
+    set_kernel_backend,
+)
 from repro.field.polynomial import Polynomial, lagrange_interpolate, lagrange_coefficients
 from repro.field.bivariate import BatchSymmetricBivariate, SymmetricBivariatePolynomial
 from repro.field.array import (
@@ -69,14 +85,19 @@ __all__ = [
     "SymmetricBivariatePolynomial",
     "BatchSymmetricBivariate",
     "FieldArray",
+    "available_kernel_backends",
     "batch_enabled",
     "batch_evaluate",
     "batch_interpolate",
     "batch_interpolate_at",
     "batch_inverse",
+    "get_kernel",
     "inverse_vandermonde",
+    "kernel_name",
     "lagrange_matrix",
     "lagrange_row",
+    "numpy_available",
     "set_batch_enabled",
+    "set_kernel_backend",
     "vandermonde_matrix",
 ]

@@ -6,8 +6,9 @@ handful of field operations over *many* values at once.  Doing that one
 boxed :class:`~repro.field.gf.FieldElement` at a time dominates the runtime,
 so this module provides:
 
-* :class:`FieldArray` -- element-wise add/sub/mul/inv over a list of residues
-  stored as plain Python ints, with a single modular reduction per op;
+* :class:`FieldArray` -- element-wise add/sub/mul/inv over a vector of
+  residues, stored either as plain Python ints or (under the numpy kernel)
+  as a ``uint64`` array, with a single modular reduction per op;
 * :func:`batch_inverse` -- Montgomery's trick: k inversions for the price of
   one modular exponentiation plus 3(k-1) multiplications;
 * cached Lagrange rows / matrices and (inverse) Vandermonde matrices keyed by
@@ -15,9 +16,16 @@ so this module provides:
   set (the overwhelmingly common case: party alphas and beta extraction
   points never change) costs one dot product per value.
 
+The actual residue arithmetic is delegated to the pluggable numerical
+kernel backend (:mod:`repro.field.kernels`): the ``"int"`` kernel is the
+pure-Python reference, the ``"numpy"`` kernel turns the cached-matrix
+applications into limb-decomposed ``uint64`` matmuls.  Both are exact, so
+the choice can never change a protocol transcript.
+
 The scalar ``FieldElement``/``Polynomial`` code paths are kept untouched as
 the reference implementation; ``tests/test_field_array.py`` checks that every
-fast path here agrees with its slow twin element-wise on randomized inputs.
+fast path here agrees with its slow twin element-wise on randomized inputs,
+and ``tests/test_kernel_equivalence.py`` does the same across kernels.
 
 Batch API summary::
 
@@ -40,6 +48,12 @@ from operator import mul
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.field.gf import GF, FieldElement
+from repro.field.kernels import (
+    LruCache,
+    get_kernel,
+    kernel_name,
+    set_kernel_backend,
+)
 
 IntRow = Tuple[int, ...]
 Matrix = Tuple[IntRow, ...]
@@ -69,66 +83,53 @@ def batch_inverse(field: GF, values: Sequence[int]) -> List[int]:
     """Montgomery's trick: invert every residue with a single exponentiation.
 
     Raises ZeroDivisionError if any value is zero mod p (matching the scalar
-    ``FieldElement.inverse`` behaviour).
+    ``FieldElement.inverse`` behaviour).  Routed through the active kernel;
+    the numpy backend computes the prefix/suffix products as vectorized
+    scans for long inputs.
     """
-    p = field.modulus
-    reduced = [int(v) % p for v in values]
-    if not reduced:
-        return []
-    prefix: List[int] = [0] * len(reduced)
-    acc = 1
-    for index, value in enumerate(reduced):
-        if value == 0:
-            raise ZeroDivisionError("zero has no multiplicative inverse")
-        acc = acc * value % p
-        prefix[index] = acc
-    inv = pow(acc, p - 2, p)
-    out = [0] * len(reduced)
-    for index in range(len(reduced) - 1, 0, -1):
-        out[index] = prefix[index - 1] * inv % p
-        inv = inv * reduced[index] % p
-    out[0] = inv
-    return out
+    kernel = get_kernel()
+    return kernel.to_list(kernel.batch_inverse(field.modulus, values))
 
 
 # -- cached interpolation machinery -------------------------------------------
 #
 # All caches are keyed by the GF instance itself; GF objects are interned per
 # modulus (see gf.py), so two independently constructed fields with the same
-# modulus share one cache line.  Caches are bounded: protocol instances probe
-# many different grown point sets during OEC, and an unbounded cache would
-# slowly leak across long simulations.
+# modulus share one cache line.  Caches are bounded LRUs: protocol instances
+# probe many different grown point sets during OEC, and the tier-2 scenario
+# grid sweeps thousands of cells in one process -- an unbounded cache would
+# slowly leak across long simulations.  Evictions are counted and surfaced
+# through :func:`cache_stats`.
 
 _CACHE_LIMIT = 4096
 
-_LAGRANGE_ROW_CACHE: Dict[Tuple, IntRow] = {}
-_LAGRANGE_MATRIX_CACHE: Dict[Tuple, Matrix] = {}
-_VANDERMONDE_CACHE: Dict[Tuple, Matrix] = {}
-_INV_VANDERMONDE_CACHE: Dict[Tuple, Matrix] = {}
+_LAGRANGE_ROW_CACHE: LruCache = LruCache(_CACHE_LIMIT)
+_LAGRANGE_MATRIX_CACHE: LruCache = LruCache(_CACHE_LIMIT)
+_VANDERMONDE_CACHE: LruCache = LruCache(_CACHE_LIMIT)
+_INV_VANDERMONDE_CACHE: LruCache = LruCache(_CACHE_LIMIT)
+
+_CACHES: Dict[str, LruCache] = {
+    "lagrange_rows": _LAGRANGE_ROW_CACHE,
+    "lagrange_matrices": _LAGRANGE_MATRIX_CACHE,
+    "vandermonde": _VANDERMONDE_CACHE,
+    "inverse_vandermonde": _INV_VANDERMONDE_CACHE,
+}
 
 
 def clear_caches() -> None:
     """Drop every cached coefficient matrix (mainly for tests/benchmarks)."""
-    _LAGRANGE_ROW_CACHE.clear()
-    _LAGRANGE_MATRIX_CACHE.clear()
-    _VANDERMONDE_CACHE.clear()
-    _INV_VANDERMONDE_CACHE.clear()
+    for cache in _CACHES.values():
+        cache.clear()
 
 
 def cache_stats() -> Dict[str, int]:
-    return {
-        "lagrange_rows": len(_LAGRANGE_ROW_CACHE),
-        "lagrange_matrices": len(_LAGRANGE_MATRIX_CACHE),
-        "vandermonde": len(_VANDERMONDE_CACHE),
-        "inverse_vandermonde": len(_INV_VANDERMONDE_CACHE),
-    }
-
-
-def _bounded_put(cache: Dict, key, value):
-    if len(cache) >= _CACHE_LIMIT:
-        cache.clear()
-    cache[key] = value
-    return value
+    """Sizes and LRU eviction counters of the coefficient-matrix caches."""
+    stats: Dict[str, int] = {}
+    for name, cache in _CACHES.items():
+        stats[name] = len(cache)
+        stats[f"{name}_evictions"] = cache.evictions
+    stats["limit"] = _CACHE_LIMIT
+    return stats
 
 
 def _as_int_tuple(field: GF, xs: Iterable) -> IntRow:
@@ -167,7 +168,7 @@ def lagrange_row(field: GF, xs: Sequence, at) -> IntRow:
     # f(at) is trivially f(x_j) when the target is an interpolation point.
     if target in points:
         unit = tuple(1 if x == target else 0 for x in points)
-        return _bounded_put(_LAGRANGE_ROW_CACHE, key, unit)
+        return _LAGRANGE_ROW_CACHE.put(key, unit)
     diffs = [(target - x) % p for x in points]
     # prefix[i] = prod_{j<i} diffs[j], suffix[i] = prod_{j>i} diffs[j]
     k = len(points)
@@ -179,7 +180,7 @@ def lagrange_row(field: GF, xs: Sequence, at) -> IntRow:
         suffix[i] = suffix[i + 1] * diffs[i + 1] % p
     inv_denoms = batch_inverse(field, _pairwise_denominators(points, p))
     row = tuple(prefix[i] * suffix[i] % p * inv_denoms[i] % p for i in range(k))
-    return _bounded_put(_LAGRANGE_ROW_CACHE, key, row)
+    return _LAGRANGE_ROW_CACHE.put(key, row)
 
 
 def lagrange_matrix(field: GF, xs: Sequence, targets: Sequence) -> Matrix:
@@ -195,7 +196,7 @@ def lagrange_matrix(field: GF, xs: Sequence, targets: Sequence) -> Matrix:
     if cached is not None:
         return cached
     matrix = tuple(lagrange_row(field, points, t) for t in wanted)
-    return _bounded_put(_LAGRANGE_MATRIX_CACHE, key, matrix)
+    return _LAGRANGE_MATRIX_CACHE.put(key, matrix)
 
 
 def vandermonde_matrix(field: GF, xs: Sequence, degree: int) -> Matrix:
@@ -215,7 +216,7 @@ def vandermonde_matrix(field: GF, xs: Sequence, degree: int) -> Matrix:
         for k in range(1, degree + 1):
             row[k] = row[k - 1] * x % p
         rows.append(tuple(row))
-    return _bounded_put(_VANDERMONDE_CACHE, key, tuple(rows))
+    return _VANDERMONDE_CACHE.put(key, tuple(rows))
 
 
 def inverse_vandermonde(field: GF, xs: Sequence) -> Matrix:
@@ -255,7 +256,7 @@ def inverse_vandermonde(field: GF, xs: Sequence) -> Matrix:
     matrix = tuple(
         tuple(columns[i][deg] for i in range(k)) for deg in range(k)
     )
-    return _bounded_put(_INV_VANDERMONDE_CACHE, key, matrix)
+    return _INV_VANDERMONDE_CACHE.put(key, matrix)
 
 
 def dot_mod(row: Sequence[int], values: Sequence[int], modulus: int) -> int:
@@ -263,6 +264,8 @@ def dot_mod(row: Sequence[int], values: Sequence[int], modulus: int) -> int:
 
     ``sum(map(mul, ...))`` beats the equivalent generator expression by
     ~30% on the short (degree+1)-length rows these hot loops chew through.
+    This is the scalar reference primitive; bulk applications go through
+    the kernel's matrix ops instead.
     """
     return sum(map(mul, row, values)) % modulus
 
@@ -272,8 +275,8 @@ def batch_interpolate_at(
 ) -> List[int]:
     """Evaluate, for every row of values over ``xs``, its interpolant at ``at``."""
     row = lagrange_row(field, xs, at)
-    p = field.modulus
-    return [dot_mod(row, values, p) for values in rows]
+    kernel = get_kernel()
+    return kernel.to_list(kernel.rows_dot(field.modulus, rows, row))
 
 
 def batch_interpolate(
@@ -281,8 +284,7 @@ def batch_interpolate(
 ) -> List[List[int]]:
     """Coefficient lists (low -> high) of the interpolants of many value rows."""
     matrix = inverse_vandermonde(field, xs)
-    p = field.modulus
-    return [[dot_mod(c_row, values, p) for c_row in matrix] for values in rows]
+    return get_kernel().mat_rows(field.modulus, matrix, rows)
 
 
 def batch_evaluate(
@@ -293,12 +295,12 @@ def batch_evaluate(
         return []
     degree = max(len(row) for row in coeff_rows) - 1
     matrix = vandermonde_matrix(field, xs, degree)
-    p = field.modulus
-    out = []
-    for coeffs in coeff_rows:
-        padded = list(coeffs) + [0] * (degree + 1 - len(coeffs))
-        out.append([dot_mod(v_row, padded, p) for v_row in matrix])
-    return out
+    width = degree + 1
+    padded = [
+        list(coeffs) + [0] * (width - len(coeffs)) if len(coeffs) < width else list(coeffs)
+        for coeffs in coeff_rows
+    ]
+    return get_kernel().mat_rows(field.modulus, matrix, padded)
 
 
 # -- the array type -----------------------------------------------------------
@@ -307,23 +309,57 @@ ArrayLike = Union["FieldArray", Sequence, int, FieldElement]
 
 
 class FieldArray:
-    """A vector of GF(p) residues stored as plain ints.
+    """A vector of GF(p) residues.
 
     Element-wise arithmetic with a single modular reduction per slot; scalars
     (ints or :class:`FieldElement`) broadcast.  Mixing arrays over different
     fields or of different lengths raises ValueError, mirroring the scalar
     API's refusal to mix fields.
+
+    Storage is kernel-native: a plain list of Python ints under the int
+    kernel, a ``uint64`` numpy array under the numpy kernel (so chains of
+    batched ops never round-trip through Python objects).  The public
+    :attr:`values` view is always a list of Python ints, materialized
+    lazily -- numpy scalars never escape into payloads or boxed elements.
     """
 
-    __slots__ = ("field", "values")
+    __slots__ = ("field", "_data", "_list")
 
     def __init__(self, field: GF, values: Iterable, _normalized: bool = False):
         self.field = field
         if _normalized:
-            self.values = list(values)
+            data = list(values)
+            self._data = data
+            self._list = data
         else:
-            p = field.modulus
-            self.values = [int(v) % p for v in values]
+            self._set_data(get_kernel().normalize(field.modulus, values))
+
+    def _set_data(self, data) -> None:
+        if isinstance(data, list):
+            self._data = data
+            self._list = data
+        else:
+            self._data = data
+            self._list = None
+
+    @classmethod
+    def _wrap(cls, field: GF, data) -> "FieldArray":
+        array = cls.__new__(cls)
+        array.field = field
+        array._set_data(data)
+        return array
+
+    @property
+    def values(self) -> List[int]:
+        """The residues as a list of Python ints (lazily materialized)."""
+        if self._list is None:
+            self._list = self._data.tolist()
+        return self._list
+
+    @property
+    def native(self):
+        """The kernel-native storage (list of ints or uint64 ndarray)."""
+        return self._data
 
     # -- constructors -----------------------------------------------------
     @classmethod
@@ -341,25 +377,26 @@ class FieldArray:
         return cls(field, [rng.randrange(p) for _ in range(count)], _normalized=True)
 
     # -- coercion ---------------------------------------------------------
-    def _coerce(self, other: ArrayLike) -> Optional[List[int]]:
-        """Return the other operand as a residue list of matching length."""
+    def _coerce(self, other: ArrayLike):
+        """The other operand as a scalar int or residue sequence of matching
+        length (kernel-native forms pass through untouched)."""
         p = self.field.modulus
         if isinstance(other, FieldArray):
             if other.field.modulus != p:
                 raise ValueError("cannot mix arrays over different fields")
-            if len(other.values) != len(self.values):
+            if len(other) != len(self):
                 raise ValueError("length mismatch in FieldArray arithmetic")
-            return other.values
+            return other._data
         if isinstance(other, FieldElement):
             if other.field.modulus != p:
                 raise ValueError("cannot mix elements of different fields")
-            return [other.value] * len(self.values)
+            return other.value
         if isinstance(other, int):
-            return [other % p] * len(self.values)
+            return other % p
         if isinstance(other, (list, tuple)):
-            if len(other) != len(self.values):
+            if len(other) != len(self):
                 raise ValueError("length mismatch in FieldArray arithmetic")
-            return [int(v) % p for v in other]
+            return get_kernel().normalize(p, other)
         return None
 
     # -- arithmetic -------------------------------------------------------
@@ -367,9 +404,8 @@ class FieldArray:
         rhs = self._coerce(other)
         if rhs is None:
             return NotImplemented
-        p = self.field.modulus
-        return FieldArray(
-            self.field, [(a + b) % p for a, b in zip(self.values, rhs)], _normalized=True
+        return FieldArray._wrap(
+            self.field, get_kernel().add(self.field.modulus, self._data, rhs)
         )
 
     __radd__ = __add__
@@ -378,61 +414,71 @@ class FieldArray:
         rhs = self._coerce(other)
         if rhs is None:
             return NotImplemented
-        p = self.field.modulus
-        return FieldArray(
-            self.field, [(a - b) % p for a, b in zip(self.values, rhs)], _normalized=True
+        return FieldArray._wrap(
+            self.field, get_kernel().sub(self.field.modulus, self._data, rhs)
         )
 
     def __rsub__(self, other: ArrayLike) -> "FieldArray":
         rhs = self._coerce(other)
         if rhs is None:
             return NotImplemented
-        p = self.field.modulus
-        return FieldArray(
-            self.field, [(b - a) % p for a, b in zip(self.values, rhs)], _normalized=True
+        return FieldArray._wrap(
+            self.field, get_kernel().rsub(self.field.modulus, self._data, rhs)
         )
 
     def __mul__(self, other: ArrayLike) -> "FieldArray":
         rhs = self._coerce(other)
         if rhs is None:
             return NotImplemented
-        p = self.field.modulus
-        return FieldArray(
-            self.field, [a * b % p for a, b in zip(self.values, rhs)], _normalized=True
+        return FieldArray._wrap(
+            self.field, get_kernel().mul(self.field.modulus, self._data, rhs)
         )
 
     __rmul__ = __mul__
 
     def __neg__(self) -> "FieldArray":
-        p = self.field.modulus
-        return FieldArray(self.field, [(-a) % p for a in self.values], _normalized=True)
+        return FieldArray._wrap(
+            self.field, get_kernel().neg(self.field.modulus, self._data)
+        )
 
     def __truediv__(self, other: ArrayLike) -> "FieldArray":
         rhs = self._coerce(other)
         if rhs is None:
             return NotImplemented
-        inv = batch_inverse(self.field, rhs)
+        kernel = get_kernel()
         p = self.field.modulus
-        return FieldArray(
-            self.field, [a * b % p for a, b in zip(self.values, inv)], _normalized=True
-        )
+        if isinstance(rhs, int):
+            if rhs == 0:
+                raise ZeroDivisionError("zero has no multiplicative inverse")
+            inv = pow(rhs, p - 2, p)
+        else:
+            inv = kernel.batch_inverse(p, rhs)
+        return FieldArray._wrap(self.field, kernel.mul(p, self._data, inv))
 
     def inverse(self) -> "FieldArray":
         """Element-wise multiplicative inverse via Montgomery's trick."""
-        return FieldArray(self.field, batch_inverse(self.field, self.values), _normalized=True)
+        return FieldArray._wrap(
+            self.field, get_kernel().batch_inverse(self.field.modulus, self._data)
+        )
 
     def dot(self, other: ArrayLike) -> FieldElement:
         rhs = self._coerce(other)
         if rhs is None:
             raise TypeError("cannot take dot product with this operand")
-        return FieldElement(dot_mod(self.values, rhs, self.field.modulus), self.field)
+        p = self.field.modulus
+        if isinstance(rhs, int):
+            total = get_kernel().vec_sum(p, self._data) * rhs % p
+            return FieldElement(total, self.field)
+        return FieldElement(get_kernel().dot(p, self._data, rhs), self.field)
 
     def sum(self) -> FieldElement:
-        return FieldElement(sum(self.values) % self.field.modulus, self.field)
+        return FieldElement(
+            get_kernel().vec_sum(self.field.modulus, self._data), self.field
+        )
 
     # -- container protocol ------------------------------------------------
     def __len__(self) -> int:
-        return len(self.values)
+        return len(self._data)
 
     def __iter__(self):
         field = self.field
@@ -440,7 +486,9 @@ class FieldArray:
 
     def __getitem__(self, index):
         if isinstance(index, slice):
-            return FieldArray(self.field, self.values[index], _normalized=True)
+            if self._list is not None:
+                return FieldArray(self.field, self._list[index], _normalized=True)
+            return FieldArray._wrap(self.field, self._data[index])
         return FieldElement(self.values[index], self.field)
 
     def to_elements(self) -> List[FieldElement]:
@@ -455,13 +503,13 @@ class FieldArray:
         if isinstance(other, FieldArray):
             return self.field.modulus == other.field.modulus and self.values == other.values
         if isinstance(other, (list, tuple)):
-            if len(other) != len(self.values):
+            if len(other) != len(self):
                 return False
             try:
                 rhs = self._coerce(other)
             except ValueError:
                 return False
-            return rhs == self.values
+            return get_kernel().to_list(rhs) == self.values
         return NotImplemented
 
     def __hash__(self) -> int:

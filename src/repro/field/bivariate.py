@@ -21,11 +21,11 @@ Two implementations live here:
 from __future__ import annotations
 
 import random
-from operator import mul as _mul
 from typing import List, Optional, Sequence, Tuple
 
-from repro.field.array import batch_interpolate, dot_mod, vandermonde_matrix
+from repro.field.array import batch_interpolate, vandermonde_matrix
 from repro.field.gf import GF, FieldElement
+from repro.field.kernels import get_kernel
 from repro.field.polynomial import Polynomial, lagrange_interpolate
 
 
@@ -332,36 +332,31 @@ class BatchSymmetricBivariate:
         """All row polynomials F(x, y_k) in one cached-Vandermonde product.
 
         This is the dealer's whole Phase-I distribution (one row per party)
-        computed as ``V(ys) @ C``: one int dot product per coefficient
-        instead of a boxed Horner loop per (party, coefficient).
+        computed as ``V(ys) @ C`` through the active numerical kernel: one
+        limb-decomposed uint64 matmul under the numpy backend, one int dot
+        product per coefficient under the reference backend -- instead of a
+        boxed Horner loop per (party, coefficient).
         """
-        p = self.field.modulus
-        v_matrix = vandermonde_matrix(self.field, ys, self.degree)
         field = self.field
-        coeffs = self.coeffs
-        # dot_mod inlined: this is the hottest dealer-side loop (one product
-        # per (party, coefficient) over the whole triple bank).
-        return [
-            Polynomial.from_reduced_ints(
-                field, [sum(map(_mul, c_row, v_row)) % p for c_row in coeffs]
-            )
-            for v_row in v_matrix
-        ]
+        v_matrix = vandermonde_matrix(field, ys, self.degree)
+        rows = get_kernel().mat_rows(field.modulus, self.coeffs, v_matrix)
+        return [Polynomial.from_reduced_ints(field, row) for row in rows]
 
     def eval_grid(self, xs: Sequence, ys: Sequence) -> List[List[int]]:
         """The full value table ``grid[a][b] = Q(xs[a], ys[b])`` in one shot.
 
         Computed as ``V(xs) @ C @ V(ys)^T`` against cached Vandermonde
         matrices -- the dealer's pairwise NOK cross-check over all (j, i)
-        pairs costs two matrix products instead of n^2 bivariate Horner
-        evaluations.
+        pairs costs two kernel matrix products instead of n^2 bivariate
+        Horner evaluations.
         """
+        kernel = get_kernel()
         p = self.field.modulus
         v_xs = vandermonde_matrix(self.field, xs, self.degree)
         v_ys = vandermonde_matrix(self.field, ys, self.degree)
         # half[b][i] = sum_j C[i][j] * ys[b]^j  (C is symmetric).
-        half = [[dot_mod(c_row, v_row, p) for c_row in self.coeffs] for v_row in v_ys]
-        return [[dot_mod(v_row, h_row, p) for h_row in half] for v_row in v_xs]
+        half = kernel.mat_rows(p, self.coeffs, v_ys, native=True)
+        return kernel.mat_rows(p, half, v_xs)
 
     def zero_row(self) -> Polynomial:
         """Q(0, y): the dealer's embedded univariate polynomial."""

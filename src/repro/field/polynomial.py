@@ -43,10 +43,21 @@ class Polynomial:
         """
         poly = object.__new__(cls)
         poly.field = field
-        coeffs = [FieldElement(v, field) for v in values] or [field.zero()]
-        while len(coeffs) > 1 and coeffs[-1].value == 0:
-            coeffs.pop()
-        poly.coeffs = coeffs
+        # Strip trailing zeros on the raw ints before boxing -- batched RS
+        # decoding builds thousands of these per call, so never boxing a
+        # coefficient that would be popped again matters.
+        values = list(values)
+        while len(values) > 1 and values[-1] == 0:
+            values.pop()
+        new = FieldElement.__new__
+        coeffs = []
+        append = coeffs.append
+        for v in values:
+            element = new(FieldElement)
+            element.value = v
+            element.field = field
+            append(element)
+        poly.coeffs = coeffs or [field.zero()]
         return poly
 
     @classmethod

@@ -97,9 +97,11 @@ class InProcessTransport(Transport):
 
     The production-shaped default for :class:`AsyncioBackend`.  Each inbox
     item is ``(message, handled)`` where ``handled`` is an ``asyncio.Event``
-    the receive loop sets once the message has been processed -- the
-    virtual-clock scheduler awaits it so event handling stays totally
-    ordered (and hence deterministic); the real clock ignores it.
+    set once the message has been processed.  Under the real clock the
+    per-party receive loops consume the inboxes concurrently; the
+    virtual-clock scheduler instead pops each just-enqueued pair back off
+    the inbox and handles it inline (execution is totally ordered anyway,
+    so the queue round trip would only add per-message wakeup churn).
     """
 
     def __init__(self, faults: Optional[TransportFaults] = None):

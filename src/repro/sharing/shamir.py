@@ -23,6 +23,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from repro.codes.reed_solomon import rs_decode, rs_decode_batch
 from repro.field.array import FieldArray, dot_mod, lagrange_row, vandermonde_matrix
 from repro.field.gf import GF, FieldElement
+from repro.field.kernels import get_kernel
 from repro.field.polynomial import Polynomial, interpolate_at, lagrange_interpolate
 
 
@@ -166,11 +167,13 @@ def batch_share(
     ]
     alphas = [int(field.alpha(i)) for i in range(1, n + 1)]
     matrix = vandermonde_matrix(field, alphas, degree)
+    # product[party][secret] = <coeffs of secret, Vandermonde row of party>;
+    # under the numpy kernel this is one limb-decomposed matmul and each
+    # party's share vector stays a uint64 row (no per-share boxing).
+    product = get_kernel().mat_rows(p, coeff_rows, matrix, native=True)
     shares: Dict[int, FieldArray] = {}
-    for party_index, v_row in enumerate(matrix, start=1):
-        shares[party_index] = FieldArray(
-            field, [dot_mod(v_row, coeffs, p) for coeffs in coeff_rows], _normalized=True
-        )
+    for party_index in range(1, n + 1):
+        shares[party_index] = FieldArray._wrap(field, product[party_index - 1])
     return shares
 
 
@@ -178,13 +181,17 @@ def batch_reconstruct(
     field: GF,
     shares: Mapping[int, Sequence],
     degree: int,
-) -> List[FieldElement]:
+) -> FieldArray:
     """Reconstruct many secrets with one cached Lagrange row.
 
     ``shares`` maps party ids to their share vectors (FieldArray or
     sequences of FieldElements/ints), all of equal length; like the scalar
     :func:`reconstruct_secret`, the first ``degree + 1`` parties in mapping
-    order are used and every share is assumed correct.
+    order are used and every share is assumed correct.  Returns the secrets
+    as a :class:`FieldArray` (element-wise equal to the historical list of
+    :class:`FieldElement`; iterate or index to box on demand) so the numpy
+    kernel's row-times-matrix product never round-trips through boxed
+    elements.
     """
     items = list(shares.items())
     if len(items) < degree + 1:
@@ -196,17 +203,12 @@ def batch_reconstruct(
     p = field.modulus
     alphas = [int(field.alpha(i)) for i, _ in items]
     row = lagrange_row(field, alphas, 0)
+    kernel = get_kernel()
     vectors = [
-        vector.values if isinstance(vector, FieldArray) else [int(v) % p for v in vector]
+        vector.native if isinstance(vector, FieldArray) else kernel.normalize(p, vector)
         for _, vector in items
     ]
-    count = lengths.pop() if lengths else 0
-    return [
-        FieldElement(
-            sum(coeff * vector[k] for coeff, vector in zip(row, vectors)) % p, field
-        )
-        for k in range(count)
-    ]
+    return FieldArray._wrap(field, kernel.rowmat(p, list(row), vectors))
 
 
 def batch_robust_reconstruct(
@@ -214,7 +216,7 @@ def batch_robust_reconstruct(
     shares: Mapping[int, Sequence],
     degree: int,
     max_faults: int,
-) -> List[FieldElement]:
+) -> FieldArray:
     """Error-corrected batch reconstruction; loud on failure.
 
     Tolerates up to ``max_faults`` corrupted parties (each possibly garbling
@@ -222,6 +224,8 @@ def batch_robust_reconstruct(
     which returns None per value, a batch that cannot be fully decoded
     raises :class:`BatchReconstructionError` naming the failed indices --
     silent partial output would let a caller keep computing on garbage.
+    Returns a :class:`FieldArray` of the recovered secrets (element-wise
+    equal to the historical list of :class:`FieldElement`).
     """
     items = list(shares.items())
     if not items:
@@ -229,16 +233,20 @@ def batch_robust_reconstruct(
     lengths = {len(vector) for _, vector in items}
     if len(lengths) > 1:
         raise ValueError("all parties must contribute equally long share vectors")
-    count = lengths.pop()
     p = field.modulus
     alphas = [int(field.alpha(i)) for i, _ in items]
+    kernel = get_kernel()
     vectors = [
-        vector.values if isinstance(vector, FieldArray) else [int(v) % p for v in vector]
+        vector.native if isinstance(vector, FieldArray) else kernel.normalize(p, vector)
         for _, vector in items
     ]
-    rows = [[vector[k] for vector in vectors] for k in range(count)]
+    rows = kernel.transpose(p, vectors)
     decoded = rs_decode_batch(field, alphas, rows, degree, max_faults)
     failed = [index for index, poly in enumerate(decoded) if poly is None]
     if failed:
         raise BatchReconstructionError(failed)
-    return [poly.constant_term() for poly in decoded]  # type: ignore[union-attr]
+    return FieldArray(
+        field,
+        [poly.constant_term().value for poly in decoded],  # type: ignore[union-attr]
+        _normalized=True,
+    )

@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.field.array import batch_enabled, dot_mod, lagrange_matrix, lagrange_row
 from repro.field.gf import GF, FieldElement
+from repro.field.kernels import get_kernel
 from repro.field.polynomial import lagrange_coefficients
 from repro.sim.party import Party, ProtocolInstance
 from repro.triples.beaver import BeaverMultiplication
@@ -73,13 +74,9 @@ def extend_shares_batch(
     alphas = [field.alpha(i) for i in range(1, degree + 2)]
     matrix = lagrange_matrix(field, alphas, [int(field(at)) for at in ats])
     p = field.modulus
-    results: List[List[FieldElement]] = []
-    for shares in share_rows:
-        head = [int(s) for s in shares[: degree + 1]]
-        results.append(
-            [FieldElement(dot_mod(row, head, p), field) for row in matrix]
-        )
-    return results
+    heads = [[int(s) for s in shares[: degree + 1]] for shares in share_rows]
+    table = get_kernel().mat_rows(p, matrix, heads)
+    return [[FieldElement(v, field) for v in row] for row in table]
 
 
 class TripleTransformation(ProtocolInstance):

@@ -176,6 +176,33 @@ def test_vandermonde_and_inverse_are_inverse_maps():
     assert inverse_vandermonde(F, xs) is inverse_vandermonde(F, tuple(xs))
 
 
+def test_lru_cache_evicts_oldest_and_counts():
+    from repro.field.kernels import LruCache
+
+    cache = LruCache(3)
+    for key in "abc":
+        cache.put(key, key.upper())
+    assert cache.get("a") == "A"  # refresh "a": "b" is now least recent
+    cache.put("d", "D")
+    assert cache.evictions == 1
+    assert cache.get("b") is None and "b" not in cache
+    assert cache.get("a") == "A" and cache.get("d") == "D"
+    cache.put("e", "E")  # evicts "c" (a/d were refreshed by the gets above)
+    assert cache.evictions == 2 and cache.get("c") is None
+    assert len(cache) == 3
+
+
+def test_cache_stats_exposes_sizes_limit_and_eviction_counters():
+    lagrange_row(F, (901, 902, 903), 0)
+    stats = cache_stats()
+    assert stats["limit"] >= 1
+    for name in ("lagrange_rows", "lagrange_matrices", "vandermonde",
+                 "inverse_vandermonde"):
+        assert stats[name] >= 0
+        assert stats[f"{name}_evictions"] >= 0
+    assert stats["lagrange_rows"] >= 1
+
+
 def test_matrix_caches_hit_across_field_instances():
     before = cache_stats()["lagrange_rows"]
     other_field = GF(DEFAULT_PRIME)
