@@ -58,6 +58,13 @@ def pytest_configure(config):
         "public examples cannot silently rot; deselect with "
         "`-m 'not examples_smoke'` when iterating",
     )
+    config.addinivalue_line(
+        "markers",
+        "tcp: opens real sockets (and possibly spawns party processes); the "
+        "tests/conftest.py timeout fixture gives each a hard per-test "
+        "wall-clock cap so a wedged socket can never hang tier-1 "
+        "(override with @pytest.mark.tcp(timeout=N))",
+    )
 
 
 def pytest_collection_modifyitems(config, items):

@@ -80,6 +80,43 @@ def check_parameters(n: int, ts: int, ta: int) -> None:
         raise ValueError(f"resilience condition violated: 3*{ts} + {ta} >= {n}")
 
 
+class CircuitEvaluationFactory:
+    """Per-party ΠCirEval factory; a top-level class so it pickles.
+
+    The multi-process TCP backend ships the factory to every party process
+    inside the job spec, which a closure over ``run_mpc``'s locals could not
+    survive; the single-process backends call it the same way.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        ts: int,
+        ta: int,
+        inputs: Dict[int, Any],
+        shard_size: Optional[int] = None,
+    ):
+        self.circuit = circuit
+        self.ts = ts
+        self.ta = ta
+        self.inputs = dict(inputs)
+        self.shard_size = shard_size
+
+    def __call__(self, party) -> CircuitEvaluation:
+        my_input = self.inputs.get(party.id, 0)
+        my_inputs = list(my_input) if isinstance(my_input, (list, tuple)) else [my_input]
+        return CircuitEvaluation(
+            party,
+            "mpc",
+            circuit=self.circuit,
+            ts=self.ts,
+            ta=self.ta,
+            my_inputs=my_inputs,
+            anchor=0.0,
+            shard_size=self.shard_size,
+        )
+
+
 def run_mpc(
     circuit: Circuit,
     inputs: Dict[int, int],
@@ -117,9 +154,12 @@ def run_mpc(
     ``shard_size`` yields the same result values.
 
     ``backend`` selects the execution runtime: ``"sim"`` (the deterministic
-    discrete-event simulator, the default) or ``"asyncio"`` (concurrent
-    coroutine parties over an in-process transport); ``backend_options`` are
-    forwarded to the backend constructor (e.g. ``clock="real"``).
+    discrete-event simulator, the default), ``"asyncio"`` (concurrent
+    coroutine parties over an in-process transport), or ``"tcp"`` (one OS
+    process per party over real sockets, spawned and collected by
+    :class:`~repro.runtime.launcher.TcpBackend`); ``backend_options`` are
+    forwarded to the backend constructor (e.g. ``clock="real"`` or
+    ``roster=...``).
     """
     check_parameters(n, ts, ta)
     # The backends default an absent network to SynchronousNetwork; passing
@@ -141,19 +181,7 @@ def run_mpc(
     elif bandwidth_budget is not None:
         raise ValueError('bandwidth_budget is only meaningful with shard_size="auto"')
 
-    def factory(party):
-        my_input = inputs.get(party.id, 0)
-        my_inputs = list(my_input) if isinstance(my_input, (list, tuple)) else [my_input]
-        return CircuitEvaluation(
-            party,
-            "mpc",
-            circuit=circuit,
-            ts=ts,
-            ta=ta,
-            my_inputs=my_inputs,
-            anchor=0.0,
-            shard_size=shard_size,
-        )
+    factory = CircuitEvaluationFactory(circuit, ts, ta, inputs, shard_size)
 
     previous = set_batch_enabled(batch) if batch is not None else None
     try:

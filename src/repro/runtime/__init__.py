@@ -27,15 +27,26 @@ from repro.runtime.api import (
     RunResult,
     VirtualClock,
 )
-from repro.runtime.transport import InProcessTransport, Transport, TransportFaults
+from repro.runtime.transport import (
+    FaultSchedule,
+    InProcessTransport,
+    Transport,
+    TransportFaults,
+)
 
+# TcpTransport/LatencyShim stay lazy alongside the backends: their wire codec
+# imports the broadcast/sharing payload types, which import repro.sim, which
+# imports this package.
 _LAZY_BACKENDS = {
     "SimBackend": "repro.runtime.sim_backend",
     "AsyncioBackend": "repro.runtime.asyncio_backend",
+    "TcpBackend": "repro.runtime.launcher",
+    "TcpTransport": "repro.runtime.tcp_transport",
+    "LatencyShim": "repro.runtime.tcp_transport",
 }
 
 #: Names accepted by :func:`make_backend` (and `ProtocolRunner(backend=...)`).
-BACKEND_NAMES = ("sim", "asyncio")
+BACKEND_NAMES = ("sim", "asyncio", "tcp")
 
 
 def __getattr__(name: str):
@@ -81,6 +92,8 @@ def make_backend(
         from repro.runtime.sim_backend import SimBackend as cls
     elif backend == "asyncio":
         from repro.runtime.asyncio_backend import AsyncioBackend as cls
+    elif backend == "tcp":
+        from repro.runtime.launcher import TcpBackend as cls
     elif isinstance(backend, type) and issubclass(backend, ExecutionBackend):
         cls = backend
     else:
@@ -101,8 +114,12 @@ __all__ = [
     "Transport",
     "InProcessTransport",
     "TransportFaults",
+    "FaultSchedule",
     "SimBackend",
     "AsyncioBackend",
+    "TcpBackend",
+    "TcpTransport",
+    "LatencyShim",
     "BACKEND_NAMES",
     "make_backend",
 ]

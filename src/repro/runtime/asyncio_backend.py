@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import asyncio
 import heapq
+import inspect
 import itertools
 import random
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
@@ -68,7 +69,7 @@ class AsyncioBackend(ExecutionBackend, PartyRuntime):
         seed: int = 0,
         corrupt: Optional[Dict[int, Any]] = None,
         clock: Any = "virtual",
-        time_scale: float = 0.001,
+        time_scale: Optional[float] = None,
         transport: Optional[Transport] = None,
     ):
         self.n = n
@@ -81,8 +82,16 @@ class AsyncioBackend(ExecutionBackend, PartyRuntime):
         if clock == "virtual":
             self.clock = VirtualClock()
         elif clock == "real":
-            self.clock = RealClock(time_scale)
+            self.clock = RealClock(0.001 if time_scale is None else time_scale)
         elif isinstance(clock, (VirtualClock, RealClock)):
+            if time_scale is not None:
+                # Matching make_backend's rule for prebuilt backends: config
+                # alongside a prebuilt instance would be silently ignored
+                # (the instance's own time_scale wins), so reject it.
+                raise ValueError(
+                    "time_scale cannot be re-specified alongside a prebuilt "
+                    f"clock instance ({clock!r} carries its own time scale)"
+                )
             self.clock = clock
         else:
             # The two driver loops are written against exactly these clock
@@ -93,6 +102,11 @@ class AsyncioBackend(ExecutionBackend, PartyRuntime):
                 "VirtualClock/RealClock instance)"
             )
         self._virtual = isinstance(self.clock, VirtualClock)
+        if self._virtual and not self.transport.synchronous_delivery:
+            raise ValueError(
+                "the virtual clock requires a synchronously-enqueuing "
+                "transport (use clock='real' with socket transports)"
+            )
 
         self._event_heap: List[tuple] = []
         self._counter = itertools.count()
@@ -210,7 +224,13 @@ class AsyncioBackend(ExecutionBackend, PartyRuntime):
     ) -> Dict[int, Any]:
         self._loop = asyncio.get_running_loop()
         already_crashed = set(self.transport.crashed)
-        self.transport.open(list(self.parties))
+        opened = self.transport.open(list(self.parties))
+        if inspect.isawaitable(opened):
+            await opened
+        # Socket transports enqueue from their reader tasks, outside the
+        # pairs deliver() returns; they report those through this hook so
+        # every local delivery is counted exactly once.
+        self.transport.on_delivery = self.metrics.record_delivery
         for party_id in already_crashed:
             self.transport.crash(party_id)
         if isinstance(self.clock, RealClock):
@@ -365,14 +385,19 @@ class AsyncioBackend(ExecutionBackend, PartyRuntime):
                 return
             if max_events is not None and self._events_processed >= max_events:
                 return
-            if self._pending == 0 and all(
-                self.transport.inbox(pid).empty() for pid in self.parties
+            if (
+                self._pending == 0
+                and self.transport.quiescent()
+                and all(self.transport.inbox(pid).empty() for pid in self.parties)
             ):
                 released = self.transport.flush_reordered()
-                if not released:
-                    return  # quiescent: nothing in flight, nothing queued
                 for _pair in released:
                     self.metrics.record_delivery()
+                if not released and self.transport.quiescent():
+                    return  # quiescent: nothing in flight, nothing queued
+                # A socket transport's flush puts held frames back on the
+                # wire (returning no local pairs); its quiescent() flips
+                # false until they land, so the loop keeps driving.
             if deadline is not None and self._loop.time() >= deadline:
                 return
             await asyncio.sleep(0.005)

@@ -1,0 +1,335 @@
+"""TcpTransport: the point-to-point channels over real TCP sockets.
+
+The socket-shaped :class:`~repro.runtime.transport.Transport` interface was
+built so this class could slot in without touching protocol or backend code:
+``deliver`` writes a :mod:`~repro.runtime.wire` frame to the recipient's
+listener instead of an ``asyncio.Queue``, and everything else -- the party
+receive loops, crash-stop, fault injection, metrics -- behaves identically.
+
+One transport instance serves the *local* parties of its process:
+
+* **Single process** (``AsyncioBackend(transport=TcpTransport(),
+  clock="real")``): every party is local, each gets its own listener on an
+  ephemeral localhost port, and every non-self message still crosses a real
+  socket -- the wire-parity testing mode.
+* **Multi process** (one OS process per party, spawned by
+  :mod:`repro.runtime.launcher`): ``local_parties`` is a singleton, the
+  ``roster`` maps every party id to its published ``(host, port)`` endpoint,
+  and remote deliveries dial out with connect retries (peers come up in any
+  order).
+
+Delivery semantics are the :mod:`repro.runtime.transport` contract: crash
+stops future sends/receives but in-flight traffic lands; a reorder hold is
+released on the next delivery attempt to the same recipient; faults draw
+from the same ``decide`` interface (use :class:`FaultSchedule` for decisions
+that replay identically against :class:`InProcessTransport`).
+
+``latency`` injects per-channel artificial delay before the socket write, so
+localhost runs emulate WAN round-trip times (:class:`LatencyShim`).  The
+transport requires the real clock -- socket deliveries cannot be enqueued
+synchronously, which the virtual-clock inline dispatcher relies on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import sys
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.runtime.transport import (
+    DELIVER,
+    DROP,
+    DUPLICATE,
+    HOLD,
+    Transport,
+)
+from repro.runtime.wire import decode_message, encode_message, frame, read_frame
+
+
+class LatencyShim:
+    """Deterministic per-channel latency injection for localhost runs.
+
+    Every frame on channel ``sender -> recipient`` is delayed ``base`` real
+    seconds plus a jitter drawn as a pure hash of ``(seed, sender,
+    recipient, seq)`` -- deterministic per message, so two runs over the
+    same message sequence emulate the same WAN.  An optional ``pairs``
+    override maps specific ``(sender, recipient)`` channels to their own
+    base latency (e.g. to emulate geo-distributed clusters with slow
+    transatlantic pairs).
+    """
+
+    def __init__(
+        self,
+        base: float = 0.0,
+        jitter: float = 0.0,
+        seed: int = 0,
+        pairs: Optional[Dict[Tuple[int, int], float]] = None,
+    ):
+        if base < 0 or jitter < 0:
+            raise ValueError("latency base and jitter must be non-negative")
+        self.base = base
+        self.jitter = jitter
+        self.seed = seed
+        self.pairs = dict(pairs or {})
+
+    def delay(self, sender: int, recipient: int, seq: int) -> float:
+        base = self.pairs.get((sender, recipient), self.base)
+        if not self.jitter:
+            return base
+        digest = hashlib.sha256(
+            f"lat:{self.seed}:{sender}:{recipient}:{seq}".encode()
+        ).digest()
+        draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return base + self.jitter * draw
+
+
+class TcpTransport(Transport):
+    """Real-socket transport; see the module docstring for the two modes."""
+
+    synchronous_delivery = False
+
+    def __init__(
+        self,
+        roster: Optional[Dict[int, Tuple[str, int]]] = None,
+        local_parties: Optional[Sequence[int]] = None,
+        faults=None,
+        latency: Optional[LatencyShim] = None,
+        host: str = "127.0.0.1",
+        connect_timeout: float = 15.0,
+    ):
+        self.roster: Dict[int, Tuple[str, int]] = dict(roster or {})
+        self.local_parties = set(local_parties) if local_parties is not None else None
+        self.faults = faults
+        self.latency = latency
+        self.host = host
+        self.connect_timeout = connect_timeout
+
+        self._inboxes: Dict[int, asyncio.Queue] = {}
+        self._crashed: Set[int] = set()
+        self._held: Dict[int, object] = {}
+        self._seq: Dict[Tuple[int, int], int] = {}
+        #: per-channel latency sequence (counts transmitted frames).
+        self._lat_seq: Dict[Tuple[int, int], int] = {}
+        self._servers: Dict[int, asyncio.base_events.Server] = {}
+        #: (sender, recipient) -> outbound frame queue + its writer task.
+        self._channels: Dict[Tuple[int, int], asyncio.Queue] = {}
+        self._writer_tasks: Dict[Tuple[int, int], asyncio.Task] = {}
+        self._local: Set[int] = set()
+        self._has_remote = False
+        self._inflight = 0
+        self._closed = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._error: Optional[BaseException] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    async def open(self, party_ids: Sequence[int]) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._closed = False
+        self._local = set(self.local_parties if self.local_parties is not None
+                          else party_ids)
+        all_ids = set(party_ids) | set(self.roster) | self._local
+        self._has_remote = bool(all_ids - self._local)
+        if self._has_remote:
+            missing = [pid for pid in all_ids if pid not in self.roster]
+            if missing:
+                raise ValueError(f"roster missing endpoints for parties {missing}")
+        self._inboxes = {pid: asyncio.Queue() for pid in self._local}
+        self._held = {}
+        self._seq = {}
+        self._lat_seq = {}
+        self._inflight = 0
+        for pid in sorted(self._local):
+            host, port = self.roster.get(pid, (self.host, 0))
+            server = await asyncio.start_server(
+                self._make_handler(pid), host=host, port=port
+            )
+            if pid not in self.roster:
+                self.roster[pid] = server.sockets[0].getsockname()[:2]
+            self._servers[pid] = server
+
+    def inbox(self, party_id: int) -> asyncio.Queue:
+        return self._inboxes[party_id]
+
+    @property
+    def crashed(self) -> Set[int]:
+        return self._crashed
+
+    def crash(self, party_id: int) -> None:
+        self._crashed.add(party_id)
+        self._held.pop(party_id, None)
+
+    def quiescent(self) -> bool:
+        if self._error is not None:
+            raise self._error
+        # With remote peers this process cannot observe global in-flight
+        # traffic; the launcher's stop barrier governs exit instead.
+        return not self._has_remote and self._inflight == 0
+
+    def close(self) -> None:
+        self._closed = True
+        for task in self._writer_tasks.values():
+            task.cancel()
+        for server in self._servers.values():
+            server.close()
+        self._servers = {}
+        self._writer_tasks = {}
+        self._channels = {}
+        self._inboxes = {}
+        self._held = {}
+
+    # -- receive path -------------------------------------------------------
+    def _make_handler(self, pid: int):
+        async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+            try:
+                while True:
+                    body = await read_frame(reader)
+                    if self._closed:
+                        break
+                    message = decode_message(body)
+                    if message.recipient != pid:
+                        raise ValueError(
+                            f"misrouted frame: {message.sender}->"
+                            f"{message.recipient} arrived at P{pid}'s listener"
+                        )
+                    tracked = not self._has_remote
+                    if tracked:
+                        self._inflight -= 1
+                    if message.recipient in self._crashed:
+                        continue
+                    handled = asyncio.Event()
+                    self._inboxes[pid].put_nowait((message, handled))
+                    if self.on_delivery is not None:
+                        self.on_delivery()
+            except (asyncio.IncompleteReadError, ConnectionError):
+                pass  # peer closed (normal teardown) -- drain ends
+            except asyncio.CancelledError:
+                pass  # loop teardown cancels in-flight reads
+            except Exception as exc:  # noqa: BLE001 - surface via quiescent()
+                self._error = exc
+            finally:
+                writer.close()
+
+        return handle
+
+    # -- send path ----------------------------------------------------------
+    def deliver(self, message) -> List[Tuple[object, asyncio.Event]]:
+        recipient = message.recipient
+        if recipient in self._crashed or self._closed:
+            return []
+        # In-flight messages from a crashed sender are still delivered (the
+        # transport.py module contract).
+        if message.sender == recipient:
+            # Self-delivery stays local (it is free and immediate on every
+            # backend); it still releases a held message for this recipient.
+            pair = self._enqueue_local(message)
+            self._release_held(recipient)
+            return [pair]
+        delivered: List[Tuple[object, asyncio.Event]] = []
+        faults = self.faults
+        if faults is not None:
+            seq = self._next_seq(message.sender, recipient)
+            decision = faults.decide(
+                message.sender, recipient, seq, can_hold=recipient not in self._held
+            )
+            if decision == HOLD:
+                self._held[recipient] = message
+                return delivered
+            if decision != DROP:
+                self._transmit(message)
+                if decision == DUPLICATE:
+                    self._transmit(message)
+            self._release_held(recipient)
+            return delivered
+        self._transmit(message)
+        self._release_held(recipient)
+        return delivered
+
+    def flush_reordered(self) -> List[Tuple[object, asyncio.Event]]:
+        held, self._held = self._held, {}
+        for recipient in sorted(held):
+            if recipient in self._crashed:
+                continue
+            self._transmit(held[recipient])
+        return []
+
+    def _enqueue_local(self, message) -> Tuple[object, asyncio.Event]:
+        handled = asyncio.Event()
+        self._inboxes[message.recipient].put_nowait((message, handled))
+        return (message, handled)
+
+    def _next_seq(self, sender: int, recipient: int) -> int:
+        key = (sender, recipient)
+        seq = self._seq.get(key, 0)
+        self._seq[key] = seq + 1
+        return seq
+
+    def _release_held(self, recipient: int) -> None:
+        held = self._held.pop(recipient, None)
+        if held is not None:
+            self._transmit(held)
+
+    def _transmit(self, message) -> None:
+        """Frame the message and schedule its socket write (plus latency)."""
+        key = (message.sender, message.recipient)
+        if not self._has_remote:
+            self._inflight += 1
+        body = encode_message(message)
+        queue = self._channels.get(key)
+        if queue is None:
+            queue = asyncio.Queue()
+            self._channels[key] = queue
+            self._writer_tasks[key] = self._loop.create_task(
+                self._channel_writer(key, queue)
+            )
+        if self.latency is not None:
+            lat_seq = self._lat_seq.get(key, 0)
+            self._lat_seq[key] = lat_seq + 1
+            delay = self.latency.delay(message.sender, message.recipient, lat_seq)
+            if delay > 0:
+                self._loop.call_later(delay, queue.put_nowait, body)
+                return
+        queue.put_nowait(body)
+
+    async def _channel_writer(self, key: Tuple[int, int], queue: asyncio.Queue) -> None:
+        """One outbound connection per channel: dial with retries, then pump."""
+        sender, recipient = key
+        host, port = self.roster[recipient]
+        deadline = self._loop.time() + self.connect_timeout
+        writer = None
+        try:
+            while True:
+                try:
+                    _reader, writer = await asyncio.open_connection(host, port)
+                    break
+                except OSError:
+                    if self._closed:
+                        return
+                    if self._loop.time() > deadline:
+                        raise
+                    await asyncio.sleep(0.02)
+            while True:
+                body = await queue.get()
+                writer.write(frame(body))
+                await writer.drain()
+        except asyncio.CancelledError:
+            pass
+        except ConnectionError:
+            # The peer's process went away mid-run (crash experiments, or a
+            # peer that exited after the stop barrier): frames to it are
+            # lost exactly like packets to a dead host.
+            if not self._has_remote:
+                self._error = ConnectionError(
+                    f"local channel P{sender}->P{recipient} broke mid-run"
+                )
+        except Exception as exc:  # noqa: BLE001 - surface via quiescent()
+            if self._has_remote:
+                print(
+                    f"[tcp-transport] channel P{sender}->P{recipient} failed: {exc!r}",
+                    file=sys.stderr,
+                )
+            else:
+                self._error = exc
+        finally:
+            if writer is not None:
+                writer.close()

@@ -5,33 +5,61 @@ messages into them; *when* a message is handed to the transport is the
 backend's decision (the virtual-clock scheduler delivers at the popped event
 time, the real clock after a genuine ``asyncio.sleep``).  The interface is
 deliberately socket-shaped -- ``open`` / ``deliver`` / ``crash`` / ``close``
-with per-party queues -- so a TCP or unix-socket transport can replace the
-in-process queue pairs without touching any protocol or backend logic.
+with per-party queues -- so the real-socket
+:class:`~repro.runtime.tcp_transport.TcpTransport` replaces the in-process
+queue pairs without touching any protocol or backend logic.
 
 Transport-level faults (crash-stop of a party's endpoint, duplicated and
 reordered deliveries) live here too: they model the *network's* misbehaviour
 as opposed to the Byzantine :class:`~repro.sim.adversary.Behavior` hooks,
 which model a corrupt party's.  All random draws come from an injected
-``random.Random`` so faulty executions replay from their seed.
+``random.Random`` (or, for cross-transport replay, from the order-independent
+:class:`FaultSchedule`), so faulty executions replay from their seed.
+
+Fault-delivery semantics (the contract both transports enforce):
+
+* **Crash-stop.**  A crashed party neither sends nor receives *from the
+  crash on*: new sends are blocked at submission
+  (``PartyRuntime.submit_message``) and nothing is enqueued to a crashed
+  recipient.  Messages the sender handed to the transport **before** its
+  crash are in flight on the network and are still delivered -- a real
+  network does not recall packets -- and this holds on every path: regular
+  delivery, the release of a reorder-held message, and
+  :meth:`Transport.flush_reordered`.  A message held *for* a crashed
+  recipient is discarded with the rest of its inbox.
+* **Reordering (adjacent swap).**  A ``hold`` decision parks the message
+  until the **next delivery attempt to the same recipient** -- whatever that
+  attempt is.  The held message is released behind a delivered message,
+  after a dropped one, and alongside a self-delivery alike, so a hold can
+  never silently become an unbounded one; at most one message per recipient
+  is held at a time.
+* **Duplication.**  The duplicate is enqueued immediately after the
+  original (protocols must be idempotent).
+* **Drops** lose the message outright; dropping honest messages violates
+  eventual delivery, so tests using drops must not expect liveness.
 """
 
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import random
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+#: Fault decisions returned by ``decide``: deliver the message, deliver it
+#: twice, park it until the next delivery attempt to the recipient, or lose
+#: it.  Plain strings keep the decision log printable and comparable.
+DELIVER, DUPLICATE, HOLD, DROP = "deliver", "duplicate", "hold", "drop"
+
 
 class TransportFaults:
-    """Fault model applied to every non-self delivery.
+    """Seeded-rng fault model applied at every non-self handoff.
 
-    ``duplicate_probability`` enqueues a second copy right after the first
-    (protocols must be idempotent); ``reorder_probability`` holds a message
-    back until the *next* delivery to the same recipient, swapping adjacent
-    arrivals (asynchronous channels need not preserve sending order);
-    ``drop_probability`` loses the message outright -- note that dropping
-    honest messages violates eventual delivery, so tests using it must not
-    expect liveness.
+    Decisions are drawn from the injected ``random.Random`` in handoff
+    order, so a replay needs the same seed *and* the same delivery order --
+    exact under the deterministic virtual clock, best-effort under a real
+    clock or real sockets.  For order-independent replay across transports
+    use :class:`FaultSchedule`.
     """
 
     def __init__(
@@ -58,12 +86,97 @@ class TransportFaults:
         self.reorder_probability = reorder_probability
         self.drop_probability = drop_probability
 
+    def decide(self, sender: int, recipient: int, seq: int, can_hold: bool) -> str:
+        """One fault decision; draw order is drop, then hold, then duplicate.
+
+        A drop consumes no further draws and a held message is never also
+        duplicated, so the rng sequence is a pure function of the decision
+        path (seeded replays reproduce it exactly).
+        """
+        if self.drop_probability and self.rng.random() < self.drop_probability:
+            return DROP
+        if (
+            self.reorder_probability
+            and can_hold
+            and self.rng.random() < self.reorder_probability
+        ):
+            return HOLD
+        if self.duplicate_probability and self.rng.random() < self.duplicate_probability:
+            return DUPLICATE
+        return DELIVER
+
+
+class FaultSchedule:
+    """Order-independent fault decisions keyed by (sender, recipient, seq).
+
+    Each channel's messages are numbered at the transport handoff; the
+    decision for message ``seq`` on channel ``sender -> recipient`` is a pure
+    hash of ``(seed, sender, recipient, seq)``.  Two transports fed the same
+    message sequence per channel therefore fault the *same* messages no
+    matter how the global delivery order interleaves -- the property the
+    in-process vs TCP replay-equivalence tests are built on.  Every decision
+    is appended to :attr:`log` as ``(decision, sender, recipient, seq)``.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        duplicate_probability: float = 0.0,
+        reorder_probability: float = 0.0,
+        drop_probability: float = 0.0,
+    ):
+        for name, p in (
+            ("duplicate_probability", duplicate_probability),
+            ("reorder_probability", reorder_probability),
+            ("drop_probability", drop_probability),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        self.seed = seed
+        self.duplicate_probability = duplicate_probability
+        self.reorder_probability = reorder_probability
+        self.drop_probability = drop_probability
+        self.log: List[Tuple[str, int, int, int]] = []
+
+    def _draw(self, sender: int, recipient: int, seq: int) -> float:
+        digest = hashlib.sha256(
+            f"{self.seed}:{sender}:{recipient}:{seq}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def decide(self, sender: int, recipient: int, seq: int, can_hold: bool) -> str:
+        draw = self._draw(sender, recipient, seq)
+        if draw < self.drop_probability:
+            decision = DROP
+        elif can_hold and draw < self.drop_probability + self.reorder_probability:
+            decision = HOLD
+        elif draw > 1.0 - self.duplicate_probability:
+            decision = DUPLICATE
+        else:
+            decision = DELIVER
+        self.log.append((decision, sender, recipient, seq))
+        return decision
+
 
 class Transport:
     """Base transport: per-party inboxes plus endpoint lifecycle."""
 
+    #: Whether :meth:`deliver` enqueues synchronously (required by the
+    #: virtual-clock inline dispatcher; real sockets cannot promise it).
+    synchronous_delivery = True
+
+    #: Optional hook called (with no arguments) each time a message is
+    #: enqueued into a local inbox *asynchronously* -- i.e. outside the pairs
+    #: returned by :meth:`deliver`.  The asyncio backend points it at its
+    #: metrics recorder so socket-side deliveries are counted exactly once.
+    on_delivery = None
+
     def open(self, party_ids: Sequence[int]) -> None:
-        """Create the endpoint for every party (called inside the loop)."""
+        """Create the endpoint for every party (called inside the loop).
+
+        May return an awaitable (the backend awaits it), so socket
+        transports can bind listeners asynchronously.
+        """
         raise NotImplementedError
 
     def inbox(self, party_id: int):
@@ -71,13 +184,18 @@ class Transport:
         raise NotImplementedError
 
     def deliver(self, message) -> List[Tuple[object, asyncio.Event]]:
-        """Enqueue a message; returns the (message, handled-event) pairs
-        actually enqueued (possibly none -- crashed endpoint or a fault --
-        or several -- duplication)."""
+        """Hand a message to the transport; returns the (message,
+        handled-event) pairs enqueued synchronously (possibly none -- a
+        crashed endpoint, a fault, or a socket write still in flight -- or
+        several -- duplication, a released held message)."""
         raise NotImplementedError
 
     def crash(self, party_id: int) -> None:
-        """Crash-stop a party's endpoint: no further deliveries to it."""
+        """Crash-stop a party's endpoint: no further deliveries to it.
+
+        In-flight messages *from* the crashed party (handed to the transport
+        before the crash) are still delivered -- see the module docstring.
+        """
         raise NotImplementedError
 
     @property
@@ -87,6 +205,15 @@ class Transport:
     def flush_reordered(self) -> List[Tuple[object, asyncio.Event]]:
         """Release any held-back (reordered) messages; returns the pairs."""
         return []
+
+    def quiescent(self) -> bool:
+        """Whether no delivery is in flight inside the transport itself.
+
+        The in-process transport enqueues synchronously, so it is always
+        quiescent between ``deliver`` calls; socket transports report frames
+        queued, latency-held, or written but not yet parsed.
+        """
+        return True
 
     def close(self) -> None:
         """Tear down every endpoint."""
@@ -102,6 +229,10 @@ class InProcessTransport(Transport):
     virtual-clock scheduler instead pops each just-enqueued pair back off
     the inbox and handles it inline (execution is totally ordered anyway,
     so the queue round trip would only add per-message wakeup churn).
+
+    ``faults`` is a :class:`TransportFaults` (seeded rng) or a
+    :class:`FaultSchedule` (order-independent); the crash/reorder delivery
+    semantics are the module-docstring contract.
     """
 
     def __init__(self, faults: Optional[TransportFaults] = None):
@@ -110,11 +241,14 @@ class InProcessTransport(Transport):
         self._crashed: Set[int] = set()
         #: recipient -> message held back by a reorder fault.
         self._held: Dict[int, object] = {}
+        #: (sender, recipient) -> next handoff sequence number (fault keys).
+        self._seq: Dict[Tuple[int, int], int] = {}
 
     def open(self, party_ids: Sequence[int]) -> None:
         self._inboxes = {pid: asyncio.Queue() for pid in party_ids}
         self._crashed = set()
         self._held = {}
+        self._seq = {}
 
     def inbox(self, party_id: int) -> asyncio.Queue:
         return self._inboxes[party_id]
@@ -125,39 +259,60 @@ class InProcessTransport(Transport):
 
     def crash(self, party_id: int) -> None:
         self._crashed.add(party_id)
+        # The crashed party receives nothing from the crash on, including a
+        # message held *for* it.  (Held messages *from* it are in flight and
+        # stay deliverable -- keyed by their recipient, they are unaffected.)
         self._held.pop(party_id, None)
+
+    def _next_seq(self, sender: int, recipient: int) -> int:
+        key = (sender, recipient)
+        seq = self._seq.get(key, 0)
+        self._seq[key] = seq + 1
+        return seq
 
     def _enqueue(self, message) -> Tuple[object, asyncio.Event]:
         handled = asyncio.Event()
         self._inboxes[message.recipient].put_nowait((message, handled))
         return (message, handled)
 
+    def _release_held(self, recipient: int, delivered: List) -> None:
+        """Release a held message behind the current delivery attempt.
+
+        Called on *every* attempt to the recipient -- delivered, dropped, or
+        a self-delivery -- so the adjacent-swap hold is bounded by the very
+        next attempt and can never strand the held message.
+        """
+        held = self._held.pop(recipient, None)
+        if held is not None:
+            delivered.append(self._enqueue(held))
+
     def deliver(self, message) -> List[Tuple[object, asyncio.Event]]:
         recipient = message.recipient
-        if recipient in self._crashed or message.sender in self._crashed:
+        if recipient in self._crashed:
             return []
-        faults = self.faults
+        # A crashed *sender*'s message reaching this point was handed to the
+        # transport before the crash (submit_message blocks later sends): it
+        # is in flight and is delivered, matching flush_reordered.
         delivered: List[Tuple[object, asyncio.Event]] = []
+        faults = self.faults
         if faults is not None and message.sender != recipient:
-            if faults.drop_probability and faults.rng.random() < faults.drop_probability:
-                return []
-            if (
-                faults.reorder_probability
-                and recipient not in self._held
-                and faults.rng.random() < faults.reorder_probability
-            ):
-                # Hold this one back; it jumps the queue behind the next
-                # delivery to the same recipient (adjacent swap).
+            seq = self._next_seq(message.sender, recipient)
+            decision = faults.decide(
+                message.sender, recipient, seq, can_hold=recipient not in self._held
+            )
+            if decision == HOLD:
+                # Park it; it jumps the queue behind the next delivery
+                # attempt to the same recipient (adjacent swap).
                 self._held[recipient] = message
-                return []
-            delivered.append(self._enqueue(message))
-            if faults.duplicate_probability and faults.rng.random() < faults.duplicate_probability:
+                return delivered
+            if decision != DROP:
                 delivered.append(self._enqueue(message))
-            held = self._held.pop(recipient, None)
-            if held is not None:
-                delivered.append(self._enqueue(held))
+                if decision == DUPLICATE:
+                    delivered.append(self._enqueue(message))
+            self._release_held(recipient, delivered)
             return delivered
         delivered.append(self._enqueue(message))
+        self._release_held(recipient, delivered)
         return delivered
 
     def flush_reordered(self) -> List[Tuple[object, asyncio.Event]]:
@@ -172,3 +327,4 @@ class InProcessTransport(Transport):
     def close(self) -> None:
         self._inboxes = {}
         self._held = {}
+        self._seq = {}

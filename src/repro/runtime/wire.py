@@ -1,0 +1,306 @@
+"""Length-prefixed wire codec for :class:`~repro.sim.messages.Message`.
+
+The TCP transport moves protocol messages between party processes as
+*frames*: a 4-byte big-endian length prefix followed by a typed binary body.
+The codec is tag-dispatched and self-describing -- every value is one tag
+byte plus tag-specific data -- and covers the whole payload zoo the
+protocols put on the wire:
+
+* the scalar primitives (``None``, bools, ints of any magnitude, floats,
+  strings, bytes) and the containers (tuple/list/set/frozenset/dict),
+* field-carrying types, serialized as **int residues plus the modulus**,
+  never as boxed objects: :class:`~repro.field.gf.FieldElement`,
+  :class:`~repro.field.polynomial.Polynomial`, and the packed batch payloads
+  :class:`~repro.broadcast.acast.PackedFieldVector` /
+  :class:`~repro.sharing.wps.PackedPolynomialRows`.  Packed vectors over a
+  sub-64-bit modulus (the default field) ride a flat ``struct`` array --
+  eight bytes per residue, no per-element boxing on either side; decoding
+  re-interns the field through ``GF(modulus)``, so receivers share the
+  process-wide cached-matrix field instance,
+* a pickle fallback for anything else (e.g. payloads forged by Byzantine
+  :class:`~repro.sim.adversary.Behavior` hooks).  Frames are only ever
+  exchanged between processes spawned by the same launcher from the same
+  code base, which is the standing trust assumption for pickle here.
+
+The codec is accounting-transparent: decoding reconstructs payloads whose
+:func:`~repro.sim.messages.payload_bits` equals the sender's, so the
+per-party communication metrics agree with the in-process backends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import struct
+from typing import Any, List
+
+from repro.broadcast.acast import PackedFieldVector
+from repro.field.gf import GF, FieldElement
+from repro.field.polynomial import Polynomial
+from repro.sharing.wps import PackedPolynomialRows
+from repro.sim.messages import Message
+
+#: Hard cap on a single frame (1 GiB): a corrupt length prefix must fail
+#: loudly instead of attempting an absurd allocation.
+MAX_FRAME_BYTES = 1 << 30
+
+_U32 = struct.Struct(">I")
+_HEADER = struct.Struct(">iid")  # sender, recipient, send_time
+_F64 = struct.Struct(">d")
+
+
+def _w_uint(buf: bytearray, value: int) -> None:
+    buf += _U32.pack(value)
+
+
+def _w_int(buf: bytearray, value: int) -> None:
+    """Arbitrary-precision signed int: 1-byte length + signed little-endian.
+
+    Field residues and moduli fit 9 bytes; protocol counters fit 1-2.  Ints
+    needing more than 255 bytes take the 4-byte escape (length 255 + u32).
+    """
+    length = (value.bit_length() + 8) // 8 or 1
+    if length < 255:
+        buf.append(length)
+    else:
+        buf.append(255)
+        _w_uint(buf, length)
+    buf += value.to_bytes(length, "little", signed=True)
+
+
+def _r_int(data: bytes, pos: int) -> tuple:
+    length = data[pos]
+    pos += 1
+    if length == 255:
+        (length,) = _U32.unpack_from(data, pos)
+        pos += 4
+    value = int.from_bytes(data[pos:pos + length], "little", signed=True)
+    return value, pos + length
+
+
+def _w_residues(buf: bytearray, modulus: int, values) -> None:
+    """A homogeneous residue vector: count + flat u64 array when it fits."""
+    _w_int(buf, modulus)
+    _w_uint(buf, len(values))
+    if modulus.bit_length() <= 64:
+        buf.append(1)
+        buf += struct.pack(f"<{len(values)}Q", *values)
+    else:
+        buf.append(0)
+        for value in values:
+            _w_int(buf, value)
+
+
+def _r_residues(data: bytes, pos: int) -> tuple:
+    modulus, pos = _r_int(data, pos)
+    (count,) = _U32.unpack_from(data, pos)
+    pos += 4
+    packed = data[pos]
+    pos += 1
+    if packed:
+        values = struct.unpack_from(f"<{count}Q", data, pos)
+        pos += 8 * count
+    else:
+        out: List[int] = []
+        for _ in range(count):
+            value, pos = _r_int(data, pos)
+            out.append(value)
+        values = tuple(out)
+    return modulus, values, pos
+
+
+def _encode(buf: bytearray, obj: Any) -> None:
+    if obj is None:
+        buf += b"N"
+    elif obj is True:
+        buf += b"T"
+    elif obj is False:
+        buf += b"F"
+    elif type(obj) is int:
+        buf += b"i"
+        _w_int(buf, obj)
+    elif type(obj) is float:
+        buf += b"f"
+        buf += _F64.pack(obj)
+    elif type(obj) is str:
+        raw = obj.encode("utf-8")
+        buf += b"s"
+        _w_uint(buf, len(raw))
+        buf += raw
+    elif type(obj) is bytes:
+        buf += b"y"
+        _w_uint(buf, len(obj))
+        buf += obj
+    elif type(obj) is tuple or type(obj) is list:
+        buf += b"t" if type(obj) is tuple else b"l"
+        _w_uint(buf, len(obj))
+        for item in obj:
+            _encode(buf, item)
+    elif type(obj) is set or type(obj) is frozenset:
+        buf += b"S" if type(obj) is set else b"Z"
+        _w_uint(buf, len(obj))
+        for item in obj:
+            _encode(buf, item)
+    elif type(obj) is dict:
+        buf += b"d"
+        _w_uint(buf, len(obj))
+        for key, value in obj.items():
+            _encode(buf, key)
+            _encode(buf, value)
+    elif isinstance(obj, FieldElement):
+        buf += b"E"
+        _w_int(buf, obj.field.modulus)
+        _w_int(buf, obj.value)
+    elif isinstance(obj, Polynomial):
+        buf += b"P"
+        _w_residues(buf, obj.field.modulus, [int(c) for c in obj.coeffs])
+    elif isinstance(obj, PackedFieldVector):
+        buf += b"V"
+        _w_residues(buf, obj.field.modulus, obj.values)
+    elif isinstance(obj, PackedPolynomialRows):
+        buf += b"R"
+        _w_residues(buf, obj.vector.field.modulus, obj.vector.values)
+        _w_uint(buf, len(obj.lengths))
+        for length in obj.lengths:
+            _w_int(buf, length)
+    else:
+        raw = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        buf += b"p"
+        _w_uint(buf, len(raw))
+        buf += raw
+
+
+def _decode(data: bytes, pos: int) -> tuple:
+    tag = data[pos:pos + 1]
+    pos += 1
+    if tag == b"N":
+        return None, pos
+    if tag == b"T":
+        return True, pos
+    if tag == b"F":
+        return False, pos
+    if tag == b"i":
+        return _r_int(data, pos)
+    if tag == b"f":
+        (value,) = _F64.unpack_from(data, pos)
+        return value, pos + 8
+    if tag == b"s":
+        (length,) = _U32.unpack_from(data, pos)
+        pos += 4
+        return data[pos:pos + length].decode("utf-8"), pos + length
+    if tag == b"y":
+        (length,) = _U32.unpack_from(data, pos)
+        pos += 4
+        return bytes(data[pos:pos + length]), pos + length
+    if tag in (b"t", b"l", b"S", b"Z"):
+        (count,) = _U32.unpack_from(data, pos)
+        pos += 4
+        items = []
+        for _ in range(count):
+            item, pos = _decode(data, pos)
+            items.append(item)
+        if tag == b"t":
+            return tuple(items), pos
+        if tag == b"l":
+            return items, pos
+        if tag == b"S":
+            return set(items), pos
+        return frozenset(items), pos
+    if tag == b"d":
+        (count,) = _U32.unpack_from(data, pos)
+        pos += 4
+        out = {}
+        for _ in range(count):
+            key, pos = _decode(data, pos)
+            value, pos = _decode(data, pos)
+            out[key] = value
+        return out, pos
+    if tag == b"E":
+        modulus, pos = _r_int(data, pos)
+        value, pos = _r_int(data, pos)
+        return FieldElement(value, GF(modulus, check_prime=False)), pos
+    if tag == b"P":
+        modulus, values, pos = _r_residues(data, pos)
+        field = GF(modulus, check_prime=False)
+        return Polynomial.from_reduced_ints(field, list(values)), pos
+    if tag == b"V":
+        modulus, values, pos = _r_residues(data, pos)
+        field = GF(modulus, check_prime=False)
+        return PackedFieldVector(field, values, _normalized=True), pos
+    if tag == b"R":
+        modulus, values, pos = _r_residues(data, pos)
+        field = GF(modulus, check_prime=False)
+        (count,) = _U32.unpack_from(data, pos)
+        pos += 4
+        lengths = []
+        for _ in range(count):
+            length, pos = _r_int(data, pos)
+            lengths.append(length)
+        vector = PackedFieldVector(field, values, _normalized=True)
+        return PackedPolynomialRows(vector, tuple(lengths)), pos
+    if tag == b"p":
+        (length,) = _U32.unpack_from(data, pos)
+        pos += 4
+        return pickle.loads(data[pos:pos + length]), pos + length
+    raise ValueError(f"unknown wire tag {tag!r} at offset {pos - 1}")
+
+
+def encode_payload(obj: Any) -> bytes:
+    """Encode one payload value to its typed binary form."""
+    buf = bytearray()
+    _encode(buf, obj)
+    return bytes(buf)
+
+
+def decode_payload(data: bytes) -> Any:
+    """Decode a payload produced by :func:`encode_payload`."""
+    obj, pos = _decode(data, 0)
+    if pos != len(data):
+        raise ValueError(f"trailing garbage after payload ({len(data) - pos} bytes)")
+    return obj
+
+
+def encode_message(message: Message) -> bytes:
+    """Encode a full Message (routing header + tag + payload), unframed."""
+    buf = bytearray()
+    buf += _HEADER.pack(message.sender, message.recipient, message.send_time)
+    tag = message.tag.encode("utf-8")
+    _w_uint(buf, len(tag))
+    buf += tag
+    _encode(buf, message.payload)
+    return bytes(buf)
+
+
+def decode_message(data: bytes) -> Message:
+    """Decode :func:`encode_message` output back to an equivalent Message.
+
+    The receiver-side Message recomputes ``bits`` from the decoded payload;
+    the codec preserves ``payload_bits`` exactly, so sender- and
+    receiver-side accounting agree.
+    """
+    sender, recipient, send_time = _HEADER.unpack_from(data, 0)
+    pos = _HEADER.size
+    (length,) = _U32.unpack_from(data, pos)
+    pos += 4
+    tag = data[pos:pos + length].decode("utf-8")
+    pos += length
+    payload, pos = _decode(data, pos)
+    if pos != len(data):
+        raise ValueError(f"trailing garbage after message ({len(data) - pos} bytes)")
+    return Message(sender, recipient, tag, payload, send_time)
+
+
+def frame(body: bytes) -> bytes:
+    """Prefix a body with its 4-byte big-endian length."""
+    if len(body) > MAX_FRAME_BYTES:
+        raise ValueError(f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES")
+    return _U32.pack(len(body)) + body
+
+
+async def read_frame(reader: asyncio.StreamReader) -> bytes:
+    """Read one length-prefixed frame; raises IncompleteReadError at EOF."""
+    header = await reader.readexactly(4)
+    (length,) = _U32.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ValueError(f"incoming frame of {length} bytes exceeds MAX_FRAME_BYTES")
+    return await reader.readexactly(length)

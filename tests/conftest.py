@@ -2,6 +2,7 @@
 
 import os
 import random
+import signal
 import sys
 
 import pytest
@@ -31,3 +32,33 @@ def rng() -> random.Random:
 def small_field() -> GF:
     """A small prime field (p = 257) for exhaustive-ish checks."""
     return GF(257)
+
+
+@pytest.fixture(autouse=True)
+def _tcp_test_timeout(request):
+    """Hard per-test wall-clock cap for ``tcp``-marked tests.
+
+    Socket tests must never hang the tier-1 run (a lost stop frame or a
+    wedged child process would otherwise block pytest forever, since there
+    is no pytest-timeout plugin in this environment).  SIGALRM fires in the
+    main thread, interrupting even a blocked ``asyncio.run``.
+    """
+    marker = request.node.get_closest_marker("tcp")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    seconds = int(marker.kwargs.get("timeout", 120))
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"tcp test exceeded its {seconds}s wall-clock cap (likely a hung "
+            "socket or party process)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
