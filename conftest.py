@@ -60,6 +60,13 @@ def pytest_configure(config):
     )
     config.addinivalue_line(
         "markers",
+        "service: long-lived MpcService tests (reservoir preprocessing, "
+        "checkpoint/restore, crash-rejoin); run in tier-1, selectable with "
+        "`-m service`, and covered by the tests/conftest.py per-test "
+        "wall-clock cap (override with @pytest.mark.service(timeout=N))",
+    )
+    config.addinivalue_line(
+        "markers",
         "tcp: opens real sockets (and possibly spawns party processes); the "
         "tests/conftest.py timeout fixture gives each a hard per-test "
         "wall-clock cap so a wedged socket can never hang tier-1 "

@@ -80,6 +80,20 @@ def check_parameters(n: int, ts: int, ta: int) -> None:
         raise ValueError(f"resilience condition violated: 3*{ts} + {ta} >= {n}")
 
 
+def check_party_ids(name: str, ids, n: int) -> None:
+    """Reject party ids outside ``1..n`` (they would be silently ignored).
+
+    ``inputs={0: 5}`` or ``corrupt={7: ...}`` at n=4 used to no-op -- the
+    absent party "inputs 0" / the behaviour is never attached -- which turns
+    an off-by-one in the caller into a silently wrong execution.
+    """
+    unknown = sorted(pid for pid in ids if not (isinstance(pid, int) and 1 <= pid <= n))
+    if unknown:
+        raise ValueError(
+            f"unknown party ids in {name}: {unknown} (parties are numbered 1..{n})"
+        )
+
+
 class CircuitEvaluationFactory:
     """Per-party ΠCirEval factory; a top-level class so it pickles.
 
@@ -95,14 +109,19 @@ class CircuitEvaluationFactory:
         ta: int,
         inputs: Dict[int, Any],
         shard_size: Optional[int] = None,
+        n: Optional[int] = None,
     ):
         self.circuit = circuit
         self.ts = ts
         self.ta = ta
         self.inputs = dict(inputs)
         self.shard_size = shard_size
+        if n is not None:
+            check_party_ids("inputs", self.inputs, n)
 
     def __call__(self, party) -> CircuitEvaluation:
+        # Backstop for factories built without n: by now the runtime knows it.
+        check_party_ids("inputs", self.inputs, party.n)
         my_input = self.inputs.get(party.id, 0)
         my_inputs = list(my_input) if isinstance(my_input, (list, tuple)) else [my_input]
         return CircuitEvaluation(
@@ -162,6 +181,8 @@ def run_mpc(
     ``roster=...``).
     """
     check_parameters(n, ts, ta)
+    check_party_ids("inputs", inputs, n)
+    check_party_ids("corrupt", corrupt or {}, n)
     # The backends default an absent network to SynchronousNetwork; passing
     # None through keeps already-built backend instances usable here.
     runner = ProtocolRunner(n, network=network, field=field, seed=seed,
@@ -181,7 +202,7 @@ def run_mpc(
     elif bandwidth_budget is not None:
         raise ValueError('bandwidth_budget is only meaningful with shard_size="auto"')
 
-    factory = CircuitEvaluationFactory(circuit, ts, ta, inputs, shard_size)
+    factory = CircuitEvaluationFactory(circuit, ts, ta, inputs, shard_size, n=n)
 
     previous = set_batch_enabled(batch) if batch is not None else None
     try:

@@ -75,6 +75,7 @@ class CircuitEvaluation(ProtocolInstance):
         anchor: Optional[float] = None,
         delta: Optional[float] = None,
         shard_size: Optional[int] = None,
+        triples: Optional[List[Tuple]] = None,
     ):
         super().__init__(party, tag)
         self.circuit = circuit
@@ -85,6 +86,16 @@ class CircuitEvaluation(ProtocolInstance):
         self.delta = delta if delta is not None else party.delta
         #: Bound on triples per ΠTripSh round (None = unsharded preprocessing).
         self.shard_size = shard_size
+        #: Pre-generated Beaver triples (e.g. a service reservoir).  When
+        #: supplied, the instance skips its own ΠPreProcessing entirely; the
+        #: shares must be aligned across parties (every party passes its
+        #: share of the same triple at the same position).
+        if triples is not None and len(triples) < self.circuit.multiplication_count:
+            raise ValueError(
+                f"{len(triples)} triples supplied but the circuit has "
+                f"{self.circuit.multiplication_count} multiplications"
+            )
+        self._supplied_triples = list(triples) if triples is not None else None
 
         self._acs: Optional[AgreementOnCommonSubset] = None
         self._preprocessing: Optional[Preprocessing] = None
@@ -135,19 +146,23 @@ class CircuitEvaluation(ProtocolInstance):
             delta=self.delta,
         )
         self._acs.on_output(self._record_acs)
-        self._preprocessing = self.spawn(
-            Preprocessing,
-            "preproc",
-            ts=self.ts,
-            ta=self.ta,
-            num_triples=max(1, self.circuit.multiplication_count),
-            anchor=self.anchor,
-            delta=self.delta,
-            shard_size=self.shard_size,
-        )
-        self._preprocessing.on_output(self._record_triples)
+        if self._supplied_triples is None:
+            self._preprocessing = self.spawn(
+                Preprocessing,
+                "preproc",
+                ts=self.ts,
+                ta=self.ta,
+                num_triples=max(1, self.circuit.multiplication_count),
+                anchor=self.anchor,
+                delta=self.delta,
+                shard_size=self.shard_size,
+            )
+            self._preprocessing.on_output(self._record_triples)
+        else:
+            self._triples = self._supplied_triples
         self._acs.start()
-        self._preprocessing.start()
+        if self._preprocessing is not None:
+            self._preprocessing.start()
 
     def _record_acs(self, result: Any) -> None:
         self._acs_result = result

@@ -199,6 +199,20 @@ class AsyncioBackend(ExecutionBackend, PartyRuntime):
         self.corrupt_parties.add(party_id)
         self.transport.crash(party_id)
 
+    def revive_party(self, party_id: int) -> Party:
+        """Re-open a crashed party's endpoint with a blank-state Party.
+
+        The fresh incarnation keeps the same inbox queue (its receive loop,
+        if any, holds a reference), which the transport drains of any
+        deliveries that raced the crash.  Rejoin logic restores protocol
+        state from a snapshot; nothing lost while down comes back.
+        """
+        self.transport.revive(party_id)
+        self.corrupt_parties.discard(party_id)
+        party = Party(party_id, self)
+        self.parties[party_id] = party
+        return party
+
     # -- execution ----------------------------------------------------------
     def run(
         self,

@@ -68,6 +68,24 @@ class SimBackend(ExecutionBackend):
     def set_behavior(self, party_id: int, behavior) -> None:
         self.simulator.set_behavior(party_id, behavior)
 
+    def crash_party(self, party_id: int, at_time: Optional[float] = None) -> None:
+        """Crash-stop a party immediately or at a simulated time.
+
+        Same surface as :meth:`AsyncioBackend.crash_party`; the scheduled
+        variant uses a system-owned timer so it fires regardless of which
+        parties are alive when the time comes.
+        """
+        if at_time is None:
+            self.simulator.crash_party(party_id)
+        else:
+            self.simulator.schedule_timer(
+                at_time, lambda: self.simulator.crash_party(party_id)
+            )
+
+    def revive_party(self, party_id: int):
+        """Replace a crashed party with a fresh (blank-state) incarnation."""
+        return self.simulator.revive_party(party_id)
+
     def run(
         self,
         factory: Callable[[Any], Any],

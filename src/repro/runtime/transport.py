@@ -202,6 +202,16 @@ class Transport:
     def crashed(self) -> Set[int]:
         raise NotImplementedError
 
+    def revive(self, party_id: int) -> None:
+        """Re-open a crashed endpoint so the party can receive again.
+
+        Everything that was discarded while crashed stays lost (crash-stop
+        semantics); rejoin protocols are expected to restore state from a
+        snapshot, not from the transport.  Optional: transports that cannot
+        re-open an endpoint keep the default and rejoin is unsupported there.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support revive")
+
     def flush_reordered(self) -> List[Tuple[object, asyncio.Event]]:
         """Release any held-back (reordered) messages; returns the pairs."""
         return []
@@ -263,6 +273,18 @@ class InProcessTransport(Transport):
         # message held *for* it.  (Held messages *from* it are in flight and
         # stay deliverable -- keyed by their recipient, they are unaffected.)
         self._held.pop(party_id, None)
+
+    def revive(self, party_id: int) -> None:
+        if party_id not in self._crashed:
+            raise ValueError(f"party {party_id} is not crashed")
+        self._crashed.discard(party_id)
+        # Drain anything enqueued before the crash was processed: the party
+        # was down, so those deliveries are lost.  The handled events still
+        # fire so no sender-side wait can deadlock on a discarded message.
+        inbox = self._inboxes.get(party_id)
+        while inbox is not None and not inbox.empty():
+            _message, handled = inbox.get_nowait()
+            handled.set()
 
     def _next_seq(self, sender: int, recipient: int) -> int:
         key = (sender, recipient)

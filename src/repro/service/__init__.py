@@ -1,0 +1,48 @@
+"""Long-lived MPC service: reservoir preprocessing, checkpoint/restore,
+crash-rejoin recovery."""
+
+from repro.service.checkpoint import (
+    SNAPSHOT_VERSION,
+    CheckpointStore,
+    PartySnapshot,
+    ServiceSnapshot,
+)
+from repro.service.errors import (
+    BackpressureError,
+    PartialResultError,
+    PartyCrashedError,
+    RejoinTimeoutError,
+    ReservoirDrainedError,
+    ServiceClosedError,
+    ServiceError,
+    SnapshotVersionError,
+)
+from repro.service.reservoir import TripleReservoir
+from repro.service.service import (
+    EvalResult,
+    MpcService,
+    RecoveryReport,
+    RejoinProtocol,
+    ServiceConfig,
+)
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "BackpressureError",
+    "CheckpointStore",
+    "EvalResult",
+    "MpcService",
+    "PartialResultError",
+    "PartySnapshot",
+    "PartyCrashedError",
+    "RecoveryReport",
+    "RejoinProtocol",
+    "RejoinTimeoutError",
+    "ReservoirDrainedError",
+    "ServiceClosedError",
+    "ServiceError",
+    "ServiceConfig",
+    "ServiceSnapshot",
+    "SnapshotVersionError",
+    "TripleReservoir",
+]

@@ -1,0 +1,100 @@
+"""Service-level error types: graceful degradation made explicit.
+
+A long-lived :class:`~repro.service.service.MpcService` fails *partially*:
+the stream backs up, the triple reservoir drains, a rejoin misses its
+deadline.  Each of those surfaces as a typed error carrying enough state for
+the client to degrade gracefully (retry later, accept a partial prefix, run
+without the crashed party) instead of a bare exception string.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+
+class ServiceError(Exception):
+    """Base class for all MpcService errors."""
+
+
+class BackpressureError(ServiceError):
+    """The submission queue is full; the client must drain results first."""
+
+    def __init__(self, pending: int, max_pending: int):
+        super().__init__(
+            f"submission queue full ({pending} pending >= max_pending={max_pending}); "
+            "call process() to drain results before submitting more"
+        )
+        self.pending = pending
+        self.max_pending = max_pending
+
+
+class ReservoirDrainedError(ServiceError):
+    """The triple reservoir cannot cover an evaluation's multiplications."""
+
+    def __init__(self, needed: int, available: int, reason: str = ""):
+        detail = f" ({reason})" if reason else ""
+        super().__init__(
+            f"triple reservoir drained: need {needed}, have {available}{detail}"
+        )
+        self.needed = needed
+        self.available = available
+
+
+class PartyCrashedError(ServiceError):
+    """An operation requires every party live, but some are crashed."""
+
+    def __init__(self, crashed, operation: str):
+        crashed = sorted(crashed)
+        super().__init__(f"cannot {operation} while parties {crashed} are crashed")
+        self.crashed = crashed
+
+
+class RejoinTimeoutError(ServiceError):
+    """A rejoin handshake exhausted its retries/deadline without a quorum."""
+
+    def __init__(self, party_id: int, attempts: int, deadline: float):
+        super().__init__(
+            f"party {party_id} failed to rejoin: {attempts} handshake attempts "
+            f"without a quorum within the {deadline} time-unit deadline"
+        )
+        self.party_id = party_id
+        self.attempts = attempts
+        self.deadline = deadline
+
+
+class PartialResultError(ServiceError):
+    """The stream stopped mid-way; carries the completed prefix.
+
+    ``completed`` holds the :class:`~repro.service.service.EvalResult` list
+    for every evaluation that finished before the failure; ``cause`` is the
+    underlying error (a :class:`RejoinTimeoutError`, a
+    :class:`ReservoirDrainedError`, ...).
+    """
+
+    def __init__(self, completed: List[Any], failed_index: int, cause: Exception):
+        super().__init__(
+            f"stream stopped at evaluation {failed_index} after "
+            f"{len(completed)} completed: {cause}"
+        )
+        self.completed = completed
+        self.failed_index = failed_index
+        self.cause = cause
+
+
+class SnapshotVersionError(ServiceError):
+    """A snapshot blob's format version is not supported by this code."""
+
+    def __init__(self, found: Any, supported: int):
+        super().__init__(
+            f"snapshot format version {found!r} not supported (this build "
+            f"reads version {supported})"
+        )
+        self.found = found
+        self.supported = supported
+
+
+class ServiceClosedError(ServiceError):
+    """The service was closed; no further submissions are accepted."""
+
+    def __init__(self) -> None:
+        super().__init__("the service is closed")

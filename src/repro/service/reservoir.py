@@ -1,0 +1,179 @@
+"""The triple reservoir: globally-sequenced Beaver-triple stock per party.
+
+The service's background preprocessing deposits each party's shares of the
+generated triples here; evaluations consume them front-to-back.  Every
+triple carries a *global sequence number* assigned in production order, the
+invariant that makes crash recovery sound: shares of triple ``s`` at
+different parties belong together exactly when they are stored under the
+same ``s``, so rejoin reconciliation is pure watermark arithmetic --
+
+* the rejoiner drops snapshot entries below the stream's consumed watermark
+  (those triples were used, possibly by degraded evaluations, while it was
+  down), and
+* the surviving parties drop entries at or above the rejoiner's snapshot
+  produced watermark (the rejoiner's shares of those triples died with its
+  in-memory state, so the remaining shares are unusable -- this is the
+  recovery cost the :class:`~repro.service.service.RecoveryReport` accounts,
+  the CCNCheck-style "work discarded at restore" figure).
+
+Entries are kept per party because that is what a real deployment has: n
+separate in-memory stores that happen to be views of the same logical
+sequence.  The service owns all n views in one process, but nothing here
+assumes that.
+"""
+
+from __future__ import annotations
+
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from collections import deque
+
+from repro.service.errors import ReservoirDrainedError
+from repro.triples.transform import TripleShares
+
+
+class TripleReservoir:
+    """Per-party FIFO stores of (sequence, triple-shares) entries."""
+
+    def __init__(self, party_ids: Iterable[int], low_watermark: int, high_watermark: int):
+        if low_watermark < 0 or high_watermark <= low_watermark:
+            raise ValueError(
+                f"need 0 <= low < high, got low={low_watermark} high={high_watermark}"
+            )
+        self.party_ids = sorted(party_ids)
+        self.low_watermark = low_watermark
+        self.high_watermark = high_watermark
+        self._entries: Dict[int, Deque[Tuple[int, TripleShares]]] = {
+            pid: deque() for pid in self.party_ids
+        }
+        #: Next global sequence number to consume (stream-wide watermark).
+        self.consumed = 0
+        #: Next global sequence number to assign to a produced triple.
+        self.produced = 0
+        #: Total shares discarded by crash/rejoin reconciliation (recovery cost).
+        self.discarded_total = 0
+
+    # -- levels -------------------------------------------------------------
+    def level(self, party_id: int) -> int:
+        return len(self._entries[party_id])
+
+    def available(self, party_ids: Iterable[int]) -> int:
+        """Triples usable by an evaluation over ``party_ids`` (min level)."""
+        ids = list(party_ids)
+        if not ids:
+            return 0
+        return min(len(self._entries[pid]) for pid in ids)
+
+    # -- production ---------------------------------------------------------
+    def begin_round(self) -> int:
+        """Base sequence number for the next preprocessing round's output."""
+        return self.produced
+
+    def deposit(self, party_id: int, base: int, triples: List[TripleShares]) -> None:
+        """Store one party's shares of a round's output, sequenced from ``base``.
+
+        Honest parties deposit identical-length lists for the same round;
+        deposits must extend the party's store contiguously (FIFO).
+        """
+        entries = self._entries[party_id]
+        if entries and entries[-1][0] + 1 != base:
+            raise ValueError(
+                f"party {party_id} deposit at base {base} does not extend its "
+                f"store (last seq {entries[-1][0]})"
+            )
+        for offset, triple in enumerate(triples):
+            entries.append((base + offset, triple))
+        self.produced = max(self.produced, base + len(triples))
+
+    # -- consumption --------------------------------------------------------
+    def take(self, party_ids: Iterable[int], count: int) -> Dict[int, List[TripleShares]]:
+        """Pop ``count`` aligned triples for each party in ``party_ids``.
+
+        Advances the global consumed watermark; raises
+        :class:`ReservoirDrainedError` if any party is short.
+        """
+        ids = sorted(party_ids)
+        if count == 0:
+            return {pid: [] for pid in ids}
+        short = self.available(ids)
+        if short < count:
+            raise ReservoirDrainedError(needed=count, available=short)
+        first_seqs = {self._entries[pid][0][0] for pid in ids}
+        if len(first_seqs) != 1:
+            raise ValueError(f"misaligned reservoir heads: {sorted(first_seqs)}")
+        taken: Dict[int, List[TripleShares]] = {}
+        for pid in ids:
+            entries = self._entries[pid]
+            taken[pid] = [entries.popleft()[1] for _ in range(count)]
+        self.consumed = max(self.consumed, next(iter(first_seqs)) + count)
+        return taken
+
+    # -- crash / rejoin reconciliation --------------------------------------
+    def clear_party(self, party_id: int) -> int:
+        """A party crashed: its in-memory store is gone.  Returns the count."""
+        lost = len(self._entries[party_id])
+        self._entries[party_id].clear()
+        return lost
+
+    def truncate_from(self, seq: int) -> int:
+        """Drop every entry with sequence >= ``seq`` at every party.
+
+        The rejoin reconciliation at the surviving parties: shares of triples
+        the rejoiner's snapshot never saw are unusable.  Returns the number
+        of entries discarded (summed over parties) and rolls the produced
+        watermark back to ``max(seq, consumed)``.
+        """
+        discarded = 0
+        for entries in self._entries.values():
+            while entries and entries[-1][0] >= seq:
+                entries.pop()
+                discarded += 1
+        self.produced = max(seq, self.consumed)
+        self.discarded_total += discarded
+        return discarded
+
+    def restore_party(self, party_id: int, first_seq: int, triples: List[TripleShares]) -> int:
+        """Load a rejoiner's snapshot entries, dropping already-consumed ones.
+
+        Returns how many snapshot entries were dropped as stale (below the
+        stream's consumed watermark).
+        """
+        entries = self._entries[party_id]
+        entries.clear()
+        dropped = 0
+        for offset, triple in enumerate(triples):
+            seq = first_seq + offset
+            if seq < self.consumed:
+                dropped += 1
+                continue
+            if seq >= self.produced:
+                dropped += 1
+                continue
+            entries.append((seq, triple))
+        self.discarded_total += dropped
+        return dropped
+
+    # -- snapshot support ----------------------------------------------------
+    def snapshot_party(self, party_id: int) -> Tuple[int, List[TripleShares]]:
+        """(first sequence, triples) of a party's store; requires contiguity."""
+        entries = self._entries[party_id]
+        if not entries:
+            return self.consumed, []
+        first = entries[0][0]
+        for offset, (seq, _triple) in enumerate(entries):
+            if seq != first + offset:
+                raise ValueError(
+                    f"party {party_id} reservoir not contiguous at seq {seq} "
+                    "(snapshot requires a quiescent service)"
+                )
+        return first, [triple for _seq, triple in entries]
+
+    def watermarks(self) -> Dict[str, int]:
+        return {"consumed": self.consumed, "produced": self.produced}
+
+    def __repr__(self) -> str:
+        levels = {pid: len(entries) for pid, entries in self._entries.items()}
+        return (
+            f"TripleReservoir(consumed={self.consumed}, produced={self.produced}, "
+            f"levels={levels})"
+        )

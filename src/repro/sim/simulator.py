@@ -90,6 +90,11 @@ class Simulator(PartyRuntime):
         self.metrics = SimulationMetrics()
         self._event_heap: List[tuple] = []
         self._counter = itertools.count()
+        #: Crash-stopped party ids (see :meth:`crash_party`).
+        self.crashed: Set[int] = set()
+        #: Per-party timer epoch; bumped on crash so that timers scheduled by
+        #: an earlier incarnation of the party never fire after a revive.
+        self._party_epoch: Dict[int, int] = {i: 0 for i in range(1, n + 1)}
         self.parties: Dict[int, Party] = {i: Party(i, self) for i in range(1, n + 1)}
         self._events_processed = 0
 
@@ -106,6 +111,8 @@ class Simulator(PartyRuntime):
     # -- event submission ----------------------------------------------------
     def submit_message(self, sender: int, recipient: int, tag: str, payload: Any) -> None:
         """Send a message; the sender's behaviour may drop or rewrite it."""
+        if sender in self.crashed:
+            return
         sender_party = self.parties[sender]
         message = Message(sender, recipient, tag, payload, self.now)
         outgoing = sender_party.behavior.filter_send(sender_party, message)
@@ -128,10 +135,50 @@ class Simulator(PartyRuntime):
     _dispatch = dispatch
 
     def schedule_timer(self, time: float, callback: Callable[[], None], owner: int = 0) -> None:
+        # Timers carry their owner and the owner's epoch at scheduling time:
+        # when the owner crashes the epoch is bumped, so every timer the old
+        # incarnation registered becomes inert (crash-stop means the party
+        # performs no local steps from the crash on, revived or not).
         heapq.heappush(
             self._event_heap,
-            (max(time, self.now), 1, next(self._counter), "timer", callback),
+            (
+                max(time, self.now),
+                1,
+                next(self._counter),
+                "timer",
+                (callback, owner, self._party_epoch.get(owner, 0)),
+            ),
         )
+
+    # -- crash faults --------------------------------------------------------
+    def crash_party(self, party_id: int) -> None:
+        """Crash-stop a party: no sends, no deliveries, no timers from now on.
+
+        Matches the transport-layer fault contract: messages already on the
+        wire *from* the crashed sender are still delivered; messages held
+        *for* it are discarded at their delivery time.  Crash faults count as
+        corruptions, so run predicates stop waiting for the party's output.
+        """
+        if party_id in self.crashed:
+            return
+        self.crashed.add(party_id)
+        self.corrupt_parties.add(party_id)
+        self._party_epoch[party_id] = self._party_epoch.get(party_id, 0) + 1
+
+    def revive_party(self, party_id: int) -> Party:
+        """Bring a crashed party back with a blank in-memory state.
+
+        The old :class:`Party` object (instances, buffers) is discarded --
+        rejoin logic is expected to restore state from a snapshot.  Timers
+        scheduled before the crash stay inert (stale epoch).
+        """
+        if party_id not in self.crashed:
+            raise ValueError(f"party {party_id} is not crashed")
+        self.crashed.discard(party_id)
+        self.corrupt_parties.discard(party_id)
+        party = Party(party_id, self)
+        self.parties[party_id] = party
+        return party
 
     # -- execution -----------------------------------------------------------
     def step(self) -> bool:
@@ -142,10 +189,17 @@ class Simulator(PartyRuntime):
         self.now = max(self.now, time)
         self._events_processed += 1
         if kind == "message":
+            if item.recipient in self.crashed:
+                return True  # held for a crashed endpoint: discarded
             self.metrics.record_delivery()
             self.parties[item.recipient].deliver(item.sender, item.tag, item.payload)
         else:
-            item()
+            callback, owner, epoch = item
+            if owner and (
+                owner in self.crashed or epoch != self._party_epoch.get(owner, 0)
+            ):
+                return True  # timer owned by a crashed/pre-crash incarnation
+            callback()
         return True
 
     def run(

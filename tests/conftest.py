@@ -36,23 +36,28 @@ def small_field() -> GF:
 
 @pytest.fixture(autouse=True)
 def _tcp_test_timeout(request):
-    """Hard per-test wall-clock cap for ``tcp``-marked tests.
+    """Hard per-test wall-clock cap for ``tcp``- and ``service``-marked tests.
 
     Socket tests must never hang the tier-1 run (a lost stop frame or a
     wedged child process would otherwise block pytest forever, since there
-    is no pytest-timeout plugin in this environment).  SIGALRM fires in the
-    main thread, interrupting even a blocked ``asyncio.run``.
+    is no pytest-timeout plugin in this environment), and the long-lived
+    service tests drive open-ended streams (refill loops, rejoin retries)
+    where a bug could spin instead of fail.  SIGALRM fires in the main
+    thread, interrupting even a blocked ``asyncio.run``.
     """
-    marker = request.node.get_closest_marker("tcp")
+    marker = request.node.get_closest_marker("tcp") or request.node.get_closest_marker(
+        "service"
+    )
     if marker is None or not hasattr(signal, "SIGALRM"):
         yield
         return
-    seconds = int(marker.kwargs.get("timeout", 120))
+    default_seconds = 120 if marker.name == "tcp" else 300
+    seconds = int(marker.kwargs.get("timeout", default_seconds))
 
     def _on_alarm(signum, frame):
         raise TimeoutError(
-            f"tcp test exceeded its {seconds}s wall-clock cap (likely a hung "
-            "socket or party process)"
+            f"{marker.name} test exceeded its {seconds}s wall-clock cap "
+            "(likely a hung socket/party process or a spinning stream loop)"
         )
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)

@@ -2,7 +2,7 @@
 
 The examples are the public face of the library and are not imported by any
 test, so a refactor could silently break them.  Each example is executed as
-a real subprocess (exactly how a user runs it); all four launch concurrently
+a real subprocess (exactly how a user runs it); all of them launch concurrently
 through a module-scoped fixture so the wall-clock cost of this module is the
 single slowest example, not the sum.
 
@@ -34,6 +34,10 @@ EXPECTED_OUTPUT = {
         "backends agree: True",
     ),
     "private_statistics": "all honest hospitals agree: True",
+    "service_demo": (
+        "full-strength outputs match the uninterrupted service: True",
+        "Done.",
+    ),
 }
 
 

@@ -289,3 +289,61 @@ def test_no_protocol_module_imports_the_simulator():
                 ):
                     offenders.append(str(relative))
     assert not offenders, f"protocol modules importing the Simulator: {offenders}"
+
+
+# -- the sync-mode real-clock schedulability bound ----------------------------
+
+
+def test_missed_regular_mode_deadlines_stall_crash_sync_only(monkeypatch):
+    """Pins the root cause of the tier-2 crash+sync-over-real-clock exclusion
+    (see test_tcp.py::test_tier2_preprocessing_grid_over_tcp).
+
+    Under a real clock, handler CPU consumes wall time that the virtual
+    simulation does not account: whenever the peak per-Δ handler CPU exceeds
+    ``time_scale * Δ`` real seconds (true during the protocol's startup
+    burst on this container even at time_scale=0.2 s/unit), the clock runs
+    ahead of computation and *every* synchronous deadline is missed -- the
+    ΠBC regular-mode SBA is then fed ⊥ everywhere, so regular mode yields ⊥,
+    every WPS votes 1, and the BA falls back to the star2 path that (at
+    t_a=0) needs a full n-clique of the live parties.
+
+    This test models exactly that failure mode on the deterministic sim
+    backend (so it is environment-independent): with every regular-mode SBA
+    fed ⊥,
+
+    * the honest+sync diagonal cell still completes -- the fallback star
+      search finds the full clique, which is the reason honest cells pass
+      under a real clock, while
+    * the crash+sync cell stalls with no honest outputs -- one crashed party
+      breaks the n-clique the t_a=0 fallback requires, which is the reason
+      that one cell (and only that one) hangs under a real clock.
+
+    Backend parity for the crash+sync cell under *virtual* time is covered
+    by test_asyncio_backend_matches_sim_backend_on_diagonal.
+    """
+    from repro.ba.sba import PhaseKingSBA
+    from repro.broadcast.bc import BroadcastProtocol
+
+    def overrun_start_sba(self):
+        # The timer fires "late" (after the clock ran ahead of computation),
+        # before the Acast delivered: the SBA input defaults to ⊥.
+        self._sba = self.spawn(
+            PhaseKingSBA, "sba", faults=self.faults, value=None, delta=self.delta
+        )
+        self._sba.start()
+
+    monkeypatch.setattr(BroadcastProtocol, "_start_sba", overrun_start_sba)
+
+    honest = run_preprocessing_on(DIAGONAL[0], "sim")
+    assert honest.all_honest_done(), (
+        "honest+sync must survive missed regular-mode deadlines via the "
+        "fallback star path (full clique available)"
+    )
+    assert triples_are_valid(honest, DIAGONAL[0].ts)
+
+    crashed = run_preprocessing_on(DIAGONAL[1], "sim")
+    assert not crashed.all_honest_done(), (
+        "crash+sync completed despite missed regular-mode deadlines: the "
+        "t_a=0 fallback no longer needs a full clique, so the real-clock "
+        "exclusion in test_tcp.py can likely be re-enabled"
+    )

@@ -312,13 +312,20 @@ def test_tier2_preprocessing_grid_over_tcp(scenario_index):
     """The runtime acceptance diagonal, re-run with every message crossing a
     real localhost socket (single process, per-party listeners).
 
-    DIAGONAL[1] (crash + sync) is excluded: with ta=0 its liveness rests
-    entirely on the synchronous round assumption holding in *real time*, and
-    the run stalls near the end under any real clock -- including the plain
-    in-process ``clock="real"`` backend with no sockets involved, even at
-    time_scale=0.2 s/unit -- so it is a pre-existing real-clock
-    characteristic of the sync-mode protocol, not a transport property.
-    The virtual-clock grid in test_runtime.py still covers that cell."""
+    DIAGONAL[1] (crash + sync) is excluded, with the root cause pinned (see
+    test_runtime.py::test_missed_regular_mode_deadlines_stall_crash_sync_only
+    for the environment-independent regression test): the cell completes iff
+    the real-time schedulability bound holds -- peak per-Δ handler CPU must
+    stay below ``time_scale * Δ`` real seconds.  When it does not (true
+    during the startup burst on this container even at time_scale=0.2
+    s/unit, an order of magnitude above this test's 0.001), the clock runs
+    ahead of computation, every regular-mode deadline is missed, ΠBC regular
+    mode yields ⊥ everywhere, and the BA falls back to the star2 path that
+    at t_a=0 needs a full n-clique -- which the crashed party breaks,
+    stalling the run.  Honest cells pass because the clique is intact; async
+    cells pass because they take no synchronous deadlines; the virtual-clock
+    grid in test_runtime.py covers the cell itself because virtual time
+    cannot run ahead of computation.  Not a transport property."""
     from test_runtime import DIAGONAL, run_preprocessing_on
     from test_scenario_matrix import triples_are_valid
 
