@@ -65,17 +65,39 @@ def max_message_bits(metrics, tag_prefix: Optional[str] = None) -> int:
 
 
 def sharded_triple_message_bound(
-    shard_size: int, ts: int, element_bits: int, header_bits: int = 64
+    shard_size: int,
+    ts: int,
+    element_bits: int,
+    header_bits: int = 64,
+    offline: str = "tripsh",
 ) -> int:
     """Upper bound on any single triple-sharing message under round sharding.
 
-    A ΠTripSh shard of ``shard_size`` triples makes its dealer VSS-distribute
-    ``shard_size * 3 * (2*ts + 1)`` degree-t_s polynomials; the heaviest
-    message of the whole pipeline is that row-distribution message
-    (one degree-t_s row, i.e. ``ts + 1`` coefficients, per polynomial).  The
-    slack term covers the message header, the payload-kind marker string and
-    per-container accounting overhead.
+    The bound is offline-mode-aware, because the two pipelines put different
+    payloads behind one ``shard_size`` knob:
+
+    - ``"tripsh"``: a ΠTripSh shard of ``shard_size`` triples makes its
+      dealer VSS-distribute ``shard_size * 3 * (2*ts + 1)`` degree-t_s
+      polynomials.
+    - ``"him"``: an HIM round of ``shard_size`` *slots* makes each dealer
+      ACS-share ``shard_size * POLYNOMIALS_PER_SLOT`` polynomials (two
+      unverified triples + one extraction input per slot); the later
+      reconstruction waves carry at most ``2 * (n - ts) * shard_size``
+      elements per message, which the dealing message dominates for every
+      admissible ``n <= 3*ts + 1 + ta``.
+
+    The heaviest message of either pipeline is the dealer row-distribution
+    message (one degree-t_s row, i.e. ``ts + 1`` coefficients, per
+    polynomial).  The slack term covers the message header, the payload-kind
+    marker string and per-container accounting overhead.
     """
-    polynomials = shard_size * 3 * (2 * ts + 1)
+    if offline == "him":
+        from repro.triples.him import POLYNOMIALS_PER_SLOT
+
+        polynomials = shard_size * POLYNOMIALS_PER_SLOT
+    elif offline == "tripsh":
+        polynomials = shard_size * 3 * (2 * ts + 1)
+    else:
+        raise ValueError(f"unknown offline mode {offline!r}")
     slack = header_bits + 8 * 16
     return polynomials * (ts + 1) * element_bits + slack

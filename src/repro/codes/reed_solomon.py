@@ -12,20 +12,26 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-from repro.field.array import dot_mod, inverse_vandermonde, lagrange_matrix
+from repro.field.array import inverse_vandermonde, lagrange_matrix
 from repro.field.gf import GF, FieldElement
 from repro.field.kernels import get_kernel
 from repro.field.polynomial import Polynomial
 
 
 def _solve_linear_system(
-    field: GF, matrix: List[List[FieldElement]], rhs: List[FieldElement]
-) -> Optional[List[FieldElement]]:
-    """Gaussian elimination over GF(p).
+    field: GF, matrix: List[List[int]], rhs: List[int]
+) -> Optional[List[int]]:
+    """Gaussian elimination over GF(p) on int residues.
 
     Returns one solution of ``matrix @ x = rhs`` (free variables set to 0),
-    or None if the system is inconsistent.
+    or None if the system is inconsistent.  Rows live as plain residue
+    vectors and the row eliminations run through the kernel's element-wise
+    ops -- no FieldElement boxing, which used to dominate the decode
+    fallback.  Pivot selection (first nonzero entry, column order) is
+    unchanged, so the solutions are bit-identical to the boxed original.
     """
+    p = field.modulus
+    kernel = get_kernel()
     rows = len(matrix)
     cols = len(matrix[0]) if rows else 0
     aug = [list(matrix[r]) + [rhs[r]] for r in range(rows)]
@@ -34,27 +40,29 @@ def _solve_linear_system(
     for col in range(cols):
         pivot_row = None
         for candidate in range(row, rows):
-            if aug[candidate][col].value != 0:
+            if aug[candidate][col] != 0:
                 pivot_row = candidate
                 break
         if pivot_row is None:
             continue
         aug[row], aug[pivot_row] = aug[pivot_row], aug[row]
-        inv = aug[row][col].inverse()
-        aug[row] = [entry * inv for entry in aug[row]]
+        inv = pow(aug[row][col], p - 2, p)
+        aug[row] = kernel.to_list(kernel.mul(p, aug[row], inv))
         for other in range(rows):
-            if other != row and aug[other][col].value != 0:
+            if other != row and aug[other][col] != 0:
                 factor = aug[other][col]
-                aug[other] = [a - factor * b for a, b in zip(aug[other], aug[row])]
+                aug[other] = kernel.to_list(
+                    kernel.sub(p, aug[other], kernel.mul(p, aug[row], factor))
+                )
         pivot_cols.append(col)
         row += 1
         if row == rows:
             break
     # Inconsistent if a zero row has non-zero rhs.
     for r in range(row, rows):
-        if all(aug[r][c].value == 0 for c in range(cols)) and aug[r][cols].value != 0:
+        if all(aug[r][c] == 0 for c in range(cols)) and aug[r][cols] != 0:
             return None
-    solution = [field.zero()] * cols
+    solution = [0] * cols
     for r, col in enumerate(pivot_cols):
         solution[col] = aug[r][cols]
     return solution
@@ -99,32 +107,32 @@ def _berlekamp_welch(
     errors: int,
 ) -> Optional[Polynomial]:
     """Solve for E(x) (monic, degree ``errors``) and Q(x) with Q = f * E."""
-    n_points = len(xs)
+    p = field.modulus
     q_degree = degree + errors
     # Unknowns: q_0..q_{q_degree}, e_0..e_{errors-1}  (E is monic of degree ``errors``).
-    num_unknowns = (q_degree + 1) + errors
-    matrix: List[List[FieldElement]] = []
-    rhs: List[FieldElement] = []
+    matrix: List[List[int]] = []
+    rhs: List[int] = []
     for x, y in zip(xs, ys):
+        xi, yi = int(x), int(y)
         row = []
-        x_pow = field.one()
+        x_pow = 1
         for _ in range(q_degree + 1):
             row.append(x_pow)
-            x_pow = x_pow * x
-        x_pow = field.one()
+            x_pow = x_pow * xi % p
+        x_pow = 1
         for _ in range(errors):
-            row.append(-(y * x_pow))
-            x_pow = x_pow * x
+            row.append(-(yi * x_pow) % p)
+            x_pow = x_pow * xi % p
         matrix.append(row)
         # Monic leading term of E moves to the right-hand side.
-        rhs.append(y * (x ** errors))
+        rhs.append(yi * pow(xi, errors, p) % p)
     solution = _solve_linear_system(field, matrix, rhs)
     if solution is None:
         return None
     q_coeffs = solution[: q_degree + 1]
-    e_coeffs = solution[q_degree + 1 :] + [field.one()]
-    q_poly = Polynomial(field, q_coeffs)
-    e_poly = Polynomial(field, e_coeffs)
+    e_coeffs = solution[q_degree + 1 :] + [1]
+    q_poly = Polynomial.from_reduced_ints(field, q_coeffs)
+    e_poly = Polynomial.from_reduced_ints(field, e_coeffs)
     if e_poly.is_zero():
         return None
     quotient, remainder = q_poly.divmod(e_poly)
@@ -218,36 +226,50 @@ def rs_decode_batch(
     if len(accepted) == len(results):
         return results
 
-    def try_window(window: Tuple[int, ...], values: List[int]) -> Optional[Polynomial]:
+    def apply_window_batched(window: Tuple[int, ...], pending: List[int]) -> None:
+        """Try one learned window against every still-undecoded row at once.
+
+        The same two cached matrix products as the base-window pass, just
+        restricted to ``pending`` rows -- column-batched on the kernel
+        backend instead of the historical per-row scalar dot products.
+        Acceptance re-verifies the exact :func:`rs_decode` condition per
+        row, so accepted rows match what the scalar path would return.
+        """
         window_xs = tuple(xs_int[i] for i in window)
         window_eval = lagrange_matrix(field, window_xs, xs_int)
-        head = [values[i] for i in window]
-        predicted = [dot_mod(m_row, head, p) for m_row in window_eval]
-        mismatches = sum(1 for a, b in zip(predicted, values) if a != b)
-        if mismatches <= max_errors and n_points - mismatches >= degree + max_errors + 1:
-            window_coeff = inverse_vandermonde(field, window_xs)
-            coeffs = [dot_mod(c_row, head, p) for c_row in window_coeff]
-            return Polynomial.from_reduced_ints(field, coeffs)
-        return None
+        sub = kernel.take_rows(matrix, pending)
+        sub_heads = kernel.take_columns(sub, window)
+        sub_predicted = kernel.mat_rows(p, window_eval, sub_heads, native=True)
+        sub_mismatch = kernel.mismatch_counts(sub_predicted, sub)
+        hits = [
+            k
+            for k, count in enumerate(sub_mismatch)
+            if count <= max_errors and n_points - count >= degree + max_errors + 1
+        ]
+        if not hits:
+            return
+        window_coeff = inverse_vandermonde(field, window_xs)
+        hit_coeffs = kernel.mat_rows(p, window_coeff, kernel.take_rows(sub_heads, hits))
+        for k, coeffs in zip(hits, hit_coeffs):
+            results[pending[k]] = Polynomial.from_reduced_ints(field, coeffs)
 
-    learned_window: Optional[Tuple[int, ...]] = None
-    for index in range(len(results)):
+    undecided = [index for index in range(len(results)) if results[index] is None]
+    while undecided:
+        index = undecided.pop(0)
         if results[index] is not None:
             continue
         values = kernel.matrix_row(matrix, index)
-        poly: Optional[Polynomial] = None
-        if learned_window is not None:
-            poly = try_window(learned_window, values)
-        if poly is None:
-            points = list(zip(xs_int, values))
-            poly = rs_decode(field, points, degree, max_errors)
-            if poly is not None:
-                agreeing = [
-                    i
-                    for i, (x, v) in enumerate(zip(xs_int, values))
-                    if int(poly.evaluate(x)) == v
-                ]
-                if len(agreeing) >= degree + 1:
-                    learned_window = tuple(agreeing[: degree + 1])
+        poly = rs_decode(field, list(zip(xs_int, values)), degree, max_errors)
         results[index] = poly
+        if poly is None:
+            continue
+        agreeing = [
+            i
+            for i, (x, v) in enumerate(zip(xs_int, values))
+            if int(poly.evaluate(x)) == v
+        ]
+        if len(agreeing) >= degree + 1:
+            pending = [k for k in undecided if results[k] is None]
+            if pending:
+                apply_window_batched(tuple(agreeing[: degree + 1]), pending)
     return results

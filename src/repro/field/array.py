@@ -107,12 +107,14 @@ _LAGRANGE_ROW_CACHE: LruCache = LruCache(_CACHE_LIMIT)
 _LAGRANGE_MATRIX_CACHE: LruCache = LruCache(_CACHE_LIMIT)
 _VANDERMONDE_CACHE: LruCache = LruCache(_CACHE_LIMIT)
 _INV_VANDERMONDE_CACHE: LruCache = LruCache(_CACHE_LIMIT)
+_HIM_CACHE: LruCache = LruCache(_CACHE_LIMIT)
 
 _CACHES: Dict[str, LruCache] = {
     "lagrange_rows": _LAGRANGE_ROW_CACHE,
     "lagrange_matrices": _LAGRANGE_MATRIX_CACHE,
     "vandermonde": _VANDERMONDE_CACHE,
     "inverse_vandermonde": _INV_VANDERMONDE_CACHE,
+    "him": _HIM_CACHE,
 }
 
 
@@ -257,6 +259,44 @@ def inverse_vandermonde(field: GF, xs: Sequence) -> Matrix:
         tuple(columns[i][deg] for i in range(k)) for deg in range(k)
     )
     return _INV_VANDERMONDE_CACHE.put(key, matrix)
+
+
+#: HIM output points y_j = HIM_POINT_OFFSET + j live far above the alpha
+#: (party, = i) and beta (extraction, = 10_000 + j) point families so the
+#: three families never collide for any realistic n.
+HIM_POINT_OFFSET = 20_000
+
+
+def him_matrix(field: GF, inputs: int, outputs: int) -> Matrix:
+    """Cached hyper-invertible matrix taking ``inputs`` values to ``outputs``.
+
+    Realized as the Lagrange evaluation-point-change matrix from the party
+    points alpha_1..alpha_inputs to the disjoint points y_1..y_outputs
+    (y_j = HIM_POINT_OFFSET + j): the inputs are read as evaluations of an
+    implicit degree-(inputs-1) polynomial and row j re-evaluates it at y_j.
+    Because all points are pairwise distinct, every square submatrix of such
+    a point-change matrix is invertible -- the hyper-invertibility property
+    behind batch randomness extraction: any ``outputs`` of the outputs are an
+    invertible function of any ``outputs`` of the inputs, so as long as at
+    least ``outputs`` inputs are uniformly random and unknown to the
+    adversary, so are all the outputs.  Applied share-wise the matrix maps
+    degree-t sharings to degree-t sharings (it is a linear map with public
+    coefficients).
+    """
+    if not 1 <= outputs <= inputs:
+        raise ValueError(
+            f"him_matrix needs 1 <= outputs <= inputs, got {inputs}x{outputs}"
+        )
+    key = (field, inputs, outputs)
+    cached = _HIM_CACHE.get(key)
+    if cached is not None:
+        return cached
+    xs = tuple(int(field.alpha(i)) for i in range(1, inputs + 1))
+    matrix = tuple(
+        lagrange_row(field, xs, HIM_POINT_OFFSET + j)
+        for j in range(1, outputs + 1)
+    )
+    return _HIM_CACHE.put(key, matrix)
 
 
 def dot_mod(row: Sequence[int], values: Sequence[int], modulus: int) -> int:

@@ -221,6 +221,19 @@ class FieldKernel:
         """
         raise NotImplementedError
 
+    def mat_vecs(self, p: int, matrix, vectors: Sequence) -> List[IntVec]:
+        """``matrix @ V`` where V stacks ``vectors`` as rows.
+
+        out[j][k] = sum_i matrix[j][i] * vectors[i][k]: one linear
+        combination of the aligned input vectors per matrix row.  This is
+        the hyper-invertible-matrix application shape (extract from a bank
+        of per-dealer share vectors in one product); ``matrix`` is normally
+        one of the interned cached matrices from :mod:`repro.field.array`,
+        so backends may memoize its converted form.  Returns plain int
+        vectors.
+        """
+        raise NotImplementedError
+
     def mismatch_counts(self, a_matrix, b_matrix) -> List[int]:
         """Per-row count of differing entries between two equal-shape matrices."""
         raise NotImplementedError
@@ -343,6 +356,17 @@ class IntKernel(FieldKernel):
         return [
             [sum(map(_mul, m_row, r)) % p for m_row in matrix]
             for r in map(_py_seq, _py_seq(rows))
+        ]
+
+    def mat_vecs(self, p, matrix, vectors):
+        vecs = [_py_seq(v) for v in vectors]
+        count = len(vecs[0]) if vecs else 0
+        return [
+            [
+                sum(coeff * vec[k] for coeff, vec in zip(_py_seq(row), vecs)) % p
+                for k in range(count)
+            ]
+            for row in _py_seq(matrix)
         ]
 
     def mismatch_counts(self, a_matrix, b_matrix):
@@ -802,6 +826,36 @@ class NumpyKernel(FieldKernel):
             rows_seq,
         )
         return out
+
+    def mat_vecs(self, p, matrix, vectors):
+        np = self._np
+        native = any(isinstance(v, np.ndarray) for v in vectors)
+        try:
+            work = len(matrix) * len(vectors) * (len(vectors[0]) if vectors else 1)
+        except TypeError:
+            work = DISPATCH_THRESHOLDS["matmul_ops"]
+        if self._supported(p) and (
+            native or work >= DISPATCH_THRESHOLDS["matmul_ops"]
+        ):
+            # The interned HIM/Lagrange tuple goes through the limb cache, so
+            # repeated extractions against the same point set re-use its
+            # 21-bit-limb decomposition conversion-free.
+            mat = self._matrix_operand(p, matrix, transposed=False)
+            if mat is not None:
+                stack = self._to_array(p, [self.to_list(v) for v in vectors])
+                if (
+                    stack is not None
+                    and stack.ndim == 2
+                    and mat.shape[1] == stack.shape[0]
+                ):
+                    out = self._matmul(p, mat, stack)
+                    if out is not None:
+                        return out.tolist()
+        return self._int.mat_vecs(
+            p,
+            matrix.tolist() if isinstance(matrix, np.ndarray) else matrix,
+            [self.to_list(v) for v in vectors],
+        )
 
     def mismatch_counts(self, a_matrix, b_matrix):
         np = self._np

@@ -110,12 +110,14 @@ class CircuitEvaluationFactory:
         inputs: Dict[int, Any],
         shard_size: Optional[int] = None,
         n: Optional[int] = None,
+        offline: str = "tripsh",
     ):
         self.circuit = circuit
         self.ts = ts
         self.ta = ta
         self.inputs = dict(inputs)
         self.shard_size = shard_size
+        self.offline = offline
         if n is not None:
             check_party_ids("inputs", self.inputs, n)
 
@@ -133,6 +135,7 @@ class CircuitEvaluationFactory:
             my_inputs=my_inputs,
             anchor=0.0,
             shard_size=self.shard_size,
+            offline=self.offline,
         )
 
 
@@ -151,6 +154,7 @@ def run_mpc(
     batch: Optional[bool] = None,
     shard_size: Union[int, str, None] = None,
     bandwidth_budget: Optional[int] = None,
+    offline: str = "tripsh",
     backend: Union[str, type, Any] = "sim",
     **backend_options: Any,
 ) -> MPCResult:
@@ -171,6 +175,13 @@ def run_mpc(
     per-round ``bandwidth_budget`` (in bits).  The circuit outputs are
     independent of the sharding (the triples are random masks), so any
     ``shard_size`` yields the same result values.
+
+    ``offline`` selects the triple-preprocessing pipeline: ``"tripsh"`` (the
+    per-dealer ΠTripSh reference, the default) or ``"him"`` (the
+    hyper-invertible-matrix batch pipeline of :mod:`repro.triples.him` --
+    one ACS per round instead of n VSS banks, sacrifice-check refinement,
+    loud abort on detected dealer corruption).  Both produce uniformly
+    random Beaver triples, so the circuit outputs are mode-independent.
 
     ``backend`` selects the execution runtime: ``"sim"`` (the deterministic
     discrete-event simulator, the default), ``"asyncio"`` (concurrent
@@ -198,11 +209,14 @@ def run_mpc(
             max(1, circuit.multiplication_count),
             runner.field.element_bits(),
             bandwidth_budget,
+            offline=offline,
         )
     elif bandwidth_budget is not None:
         raise ValueError('bandwidth_budget is only meaningful with shard_size="auto"')
 
-    factory = CircuitEvaluationFactory(circuit, ts, ta, inputs, shard_size, n=n)
+    factory = CircuitEvaluationFactory(
+        circuit, ts, ta, inputs, shard_size, n=n, offline=offline
+    )
 
     previous = set_batch_enabled(batch) if batch is not None else None
     try:

@@ -36,6 +36,7 @@ def cir_eval_time_bound(
     delta: float,
     shard_size: Optional[int] = None,
     c_m: int = 1,
+    offline: str = "tripsh",
 ) -> float:
     """Nominal time bound for ΠCirEval in a synchronous network.
 
@@ -49,7 +50,9 @@ def cir_eval_time_bound(
     return (
         max(
             acs_time_bound(n, ts, delta),
-            preprocessing_time_bound(n, ts, delta, shard_size=shard_size, c_m=c_m),
+            preprocessing_time_bound(
+                n, ts, delta, shard_size=shard_size, c_m=c_m, offline=offline
+            ),
         )
         + (multiplicative_depth + 2.0) * delta
         + 8 * epsilon(delta)
@@ -76,6 +79,7 @@ class CircuitEvaluation(ProtocolInstance):
         delta: Optional[float] = None,
         shard_size: Optional[int] = None,
         triples: Optional[List[Tuple]] = None,
+        offline: str = "tripsh",
     ):
         super().__init__(party, tag)
         self.circuit = circuit
@@ -86,6 +90,9 @@ class CircuitEvaluation(ProtocolInstance):
         self.delta = delta if delta is not None else party.delta
         #: Bound on triples per ΠTripSh round (None = unsharded preprocessing).
         self.shard_size = shard_size
+        #: Offline pipeline for the preprocessing sub-protocol (see
+        #: :data:`repro.triples.preprocessing.OFFLINE_MODES`).
+        self.offline = offline
         #: Pre-generated Beaver triples (e.g. a service reservoir).  When
         #: supplied, the instance skips its own ΠPreProcessing entirely; the
         #: shares must be aligned across parties (every party passes its
@@ -156,6 +163,7 @@ class CircuitEvaluation(ProtocolInstance):
                 anchor=self.anchor,
                 delta=self.delta,
                 shard_size=self.shard_size,
+                mode=self.offline,
             )
             self._preprocessing.on_output(self._record_triples)
         else:

@@ -78,6 +78,10 @@ class ServiceConfig:
     high_watermark: int = 32
     #: ΠTripSh round sharding for refill rounds (None = unsharded).
     shard_size: Optional[int] = None
+    #: Offline pipeline for background refill rounds: "tripsh" (per-dealer
+    #: reference) or "him" (hyper-invertible-matrix batch extraction; see
+    #: :mod:`repro.triples.him`).
+    offline: str = "tripsh"
     #: Auto-checkpoint after every k completed evaluations (0 = manual only).
     checkpoint_every: int = 0
     #: Submission-queue bound; exceeding it raises :class:`BackpressureError`.
@@ -428,6 +432,7 @@ class MpcService:
                 anchor=anchor,
                 delta=self.delta,
                 shard_size=self.config.shard_size,
+                mode=self.config.offline,
             )
             instances[pid].on_output(
                 lambda triples, pid=pid, base=base, r=round_index: self._deposit(
@@ -470,7 +475,8 @@ class MpcService:
             return
         target = max(inst.num_triples for inst in self._inflight.values())
         bound = preprocessing_time_bound(
-            self.n, self.ts, self.delta, shard_size=self.config.shard_size, c_m=target
+            self.n, self.ts, self.delta, shard_size=self.config.shard_size,
+            c_m=target, offline=self.config.offline,
         )
         self.sim.run(
             until=self._inflight_done,
@@ -484,7 +490,8 @@ class MpcService:
         assert self._inflight is not None
         target = max(inst.num_triples for inst in self._inflight.values())
         bound = preprocessing_time_bound(
-            self.n, self.ts, self.delta, shard_size=self.config.shard_size, c_m=target
+            self.n, self.ts, self.delta, shard_size=self.config.shard_size,
+            c_m=target, offline=self.config.offline,
         )
         self.sim.run(
             until=self._inflight_done,

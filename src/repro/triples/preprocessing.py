@@ -45,6 +45,18 @@ from repro.triples.sharing import TripleSharing, triple_sharing_time_bound
 from repro.triples.transform import TripleShares
 
 
+#: Offline-phase pipelines selectable via ``Preprocessing(mode=...)`` /
+#: ``run_mpc(offline=...)``: the per-dealer ΠTripSh reference pipeline and
+#: the hyper-invertible-matrix batch pipeline (see :mod:`repro.triples.him`).
+OFFLINE_MODES = ("tripsh", "him")
+
+
+def check_offline_mode(mode: str) -> str:
+    if mode not in OFFLINE_MODES:
+        raise ValueError(f"unknown offline mode {mode!r} (use one of {OFFLINE_MODES})")
+    return mode
+
+
 def extraction_yield(n: int, ts: int) -> int:
     """Triples extracted per ΠTripExt instance: (n - t_s - 1)/2 + 1 - t_s."""
     d = (n - ts - 1) // 2
@@ -73,40 +85,70 @@ def shard_bounds(per_dealer: int, shard_size: Optional[int]) -> List[Tuple[int, 
 
 
 def auto_shard_size(
-    n: int, ts: int, c_m: int, element_bits: int, bandwidth_budget: int
+    n: int,
+    ts: int,
+    c_m: int,
+    element_bits: int,
+    bandwidth_budget: int,
+    offline: str = "tripsh",
 ) -> Optional[int]:
     """Largest ``shard_size`` whose per-round triple message fits the budget.
 
     ``bandwidth_budget`` caps the heaviest single message (in bits) any
     protocol round may carry, per
-    :func:`repro.analysis.metrics.sharded_triple_message_bound`.  Returns
-    ``None`` (unsharded) when the whole bank already fits -- sharding only
-    costs latency, so the largest admissible shard is always preferred --
-    and clamps to 1 when even a single triple per round exceeds the budget
-    (the protocol cannot subdivide further).
+    :func:`repro.analysis.metrics.sharded_triple_message_bound`.  The bound
+    -- and the unit ``shard_size`` counts -- is offline-mode-aware: triples
+    per dealer for the ΠTripSh pipeline, slots for the HIM pipeline (whose
+    per-round payload shape is 7 polynomials per slot instead of
+    3·(2t_s+1) per triple).  Returns ``None`` (unsharded) when the whole
+    bank already fits -- sharding only costs latency, so the largest
+    admissible shard is always preferred -- and clamps to 1 when even a
+    single unit per round exceeds the budget (the protocol cannot subdivide
+    further).
     """
     from repro.analysis.metrics import sharded_triple_message_bound
 
-    per_dealer = triples_per_dealer(n, ts, c_m)
+    check_offline_mode(offline)
+    if offline == "him":
+        from repro.triples.him import him_slots
+
+        per_round_units = him_slots(n, ts, c_m)
+    else:
+        per_round_units = triples_per_dealer(n, ts, c_m)
     # The bound is affine in shard_size, so invert it in closed form:
-    # bound(s) = s * bits_per_triple + slack.
-    slack = sharded_triple_message_bound(0, ts, element_bits)
-    bits_per_triple = sharded_triple_message_bound(1, ts, element_bits) - slack
-    size = (bandwidth_budget - slack) // bits_per_triple
-    if size >= per_dealer:
+    # bound(s) = s * bits_per_unit + slack.
+    slack = sharded_triple_message_bound(0, ts, element_bits, offline=offline)
+    bits_per_unit = (
+        sharded_triple_message_bound(1, ts, element_bits, offline=offline) - slack
+    )
+    size = (bandwidth_budget - slack) // bits_per_unit
+    if size >= per_round_units:
         return None
     return max(int(size), 1)
 
 
 def preprocessing_time_bound(
-    n: int, ts: int, delta: float, shard_size: Optional[int] = None, c_m: int = 1
+    n: int,
+    ts: int,
+    delta: float,
+    shard_size: Optional[int] = None,
+    c_m: int = 1,
+    offline: str = "tripsh",
 ) -> float:
     """T_TripGen = last-round offset + T_TripSh + 2·T_BA + Δ (nominal).
 
     The unsharded protocol has one ΠTripSh round; with ``shard_size`` set
     the rounds run back to back on Δ-grid-aligned anchors, trading latency
-    for bounded per-round bandwidth.
+    for bounded per-round bandwidth.  With ``offline="him"`` the bound is
+    the HIM pipeline's (see :func:`repro.triples.him.him_preprocessing_time_bound`).
     """
+    check_offline_mode(offline)
+    if offline == "him":
+        from repro.triples.him import him_preprocessing_time_bound
+
+        return him_preprocessing_time_bound(
+            n, ts, delta, shard_size=shard_size, c_m=c_m
+        )
     t_ba = bc_time_bound(n, ts, delta) + aba_nominal_time_bound(delta)
     rounds = len(shard_bounds(triples_per_dealer(n, ts, c_m), shard_size))
     t_tripsh = triple_sharing_time_bound(n, ts, delta)
@@ -127,7 +169,22 @@ class Preprocessing(ProtocolInstance):
     more because the extraction yield is a whole number per instance).
     ``shard_size`` bounds how many triples any single ΠTripSh round carries
     (None = unsharded).
+
+    ``mode`` selects the offline pipeline: ``"tripsh"`` (this class, the
+    per-dealer reference) or ``"him"``, which constructs a
+    :class:`repro.triples.him.HimPreprocessing` instead -- same constructor
+    surface and output shape, hyper-invertible-matrix internals.
     """
+
+    def __new__(cls, *args, mode: str = "tripsh", **kwargs):
+        check_offline_mode(mode)
+        if cls is Preprocessing and mode == "him":
+            from repro.triples.him import HimPreprocessing
+
+            # type_call invokes type(obj).__init__, so HimPreprocessing's
+            # own __init__ receives the original arguments.
+            return super().__new__(HimPreprocessing)
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -139,8 +196,10 @@ class Preprocessing(ProtocolInstance):
         anchor: Optional[float] = None,
         delta: Optional[float] = None,
         shard_size: Optional[int] = None,
+        mode: str = "tripsh",
     ):
         super().__init__(party, tag)
+        self.mode = check_offline_mode(mode)
         self.ts = ts
         self.ta = ta
         self.num_triples = num_triples

@@ -398,3 +398,64 @@ def test_scenario_diagonal_cell_bit_identical_across_kernels():
     assert canonical_outputs(fast) == canonical_outputs(reference)
     assert transcript_fingerprint(fast) == transcript_fingerprint(reference)
     assert len(canonical_outputs(fast)) == scenario.n
+
+
+# -- the HIM offline pipeline across kernels -----------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    inputs=st.integers(2, 8),
+    count=st.integers(1, 40),
+)
+def test_property_mat_vecs_matches_across_kernels(seed, inputs, count):
+    """The HIM extraction product (mat_vecs against a cached him_matrix)
+    must be exact under both kernels, above and below the matmul dispatch
+    threshold and with unreduced edge residues mixed in."""
+    from repro.field.array import him_matrix
+
+    rng = random.Random(seed)
+    outputs = rng.randint(1, inputs)
+    vectors = [
+        [rng.choice(EDGE_VALUES + [rng.randrange(P)]) for _ in range(count)]
+        for _ in range(inputs)
+    ]
+
+    def compute():
+        from repro.field.kernels import get_kernel
+
+        matrix = him_matrix(F, inputs, outputs)
+        out = get_kernel().mat_vecs(P, matrix, [list(v) for v in vectors])
+        return [[int(v) for v in row] for row in out]
+
+    reference, fast = both_kernels(compute)
+    assert reference == fast
+    expected = [
+        [
+            sum(m * (v % P) for m, v in zip(m_row, col)) % P
+            for col in zip(*vectors)
+        ]
+        for m_row in (him_matrix(F, inputs, outputs))
+    ]
+    assert fast == expected
+
+
+def test_him_scenario_cell_bit_identical_across_kernels():
+    """The HIM offline pipeline (n=4, sync, honest): same outputs and
+    transcript under the numpy and int kernels, like the reference mode."""
+    from test_scenario_matrix import (
+        Scenario,
+        canonical_outputs,
+        run_preprocessing,
+        transcript_fingerprint,
+    )
+
+    scenario = Scenario(4, 1, 0, "honest", "sync", None, offline="him")
+    with kernel("int"):
+        reference = run_preprocessing(scenario, batch=True)
+    with kernel("numpy"):
+        fast = run_preprocessing(scenario, batch=True)
+    assert canonical_outputs(fast) == canonical_outputs(reference)
+    assert transcript_fingerprint(fast) == transcript_fingerprint(reference)
+    assert len(canonical_outputs(fast)) == scenario.n

@@ -41,6 +41,7 @@ from repro.sim import (
     RandomDropBehavior,
     SynchronousNetwork,
 )
+from repro.triples.him import HimExtractionAbort, him_slots
 from repro.triples.preprocessing import Preprocessing, shard_bounds, triples_per_dealer
 
 FIELD = default_field()
@@ -65,6 +66,8 @@ class Scenario:
     shard_size: Optional[int]
     num_triples: int = 2
     seed: int = 0
+    #: Offline pipeline under test ("tripsh" reference or "him" batch).
+    offline: str = "tripsh"
 
     @property
     def corruptions(self) -> int:
@@ -90,6 +93,10 @@ class Scenario:
         unlike builtin ``hash`` on strings)."""
         key = (self.n, self.ts, self.ta, self.adversary, self.network,
                self.shard_size or 0, self.num_triples, self.seed)
+        if self.offline != "tripsh":
+            # Appended only for non-default modes so every historical
+            # "tripsh" cell keeps its exact seed (and hence transcript).
+            key = key + (self.offline,)
         return zlib.crc32(repr(key).encode("utf-8")) & 0x7FFFFFFF
 
     def build_network(self):
@@ -112,7 +119,30 @@ class Scenario:
         if self.adversary == "random_drop":
             # Reproducible lossy party: the rng is injected, never module-global.
             return {target: RandomDropBehavior(0.25, random.Random(self.scenario_seed))}
+        if self.adversary == "bad_triple_dealer":
+            # Corrupt at the protocol-input level, not the transport level:
+            # P_1 follows the protocol but deals rigged triples (see
+            # :func:`bad_dealer_triples`).  It must be P_1, not P_n -- a
+            # synchronous ΠACS deterministically admits the first n - t_s
+            # dealers, and the sacrifice check can only judge dealers whose
+            # sharings made it into CS.  Only meaningful with
+            # ``offline="him"``; the reference pipeline verifies each
+            # dealer's triples inside ΠTripSh instead.
+            return {}
         raise ValueError(self.adversary)
+
+
+def bad_dealer_triples(scenario: Scenario):
+    """Sacrifice-check bait: VSS-consistent slots whose candidate has c != a*b.
+
+    The ``bad_triple_dealer`` adversary deals these through the hook instead
+    of honest random triples -- the sharing itself is perfectly consistent
+    (so ΠACS admits the dealer into CS), and only the HIM pipeline's
+    sacrifice check can catch the corruption.
+    """
+    one = FIELD(1)
+    slots = him_slots(scenario.n, scenario.ts, scenario.num_triples)
+    return [((one, one, FIELD(2)), (one, one, one))] * slots
 
 
 def run_preprocessing(scenario: Scenario, batch: bool):
@@ -124,8 +154,12 @@ def run_preprocessing(scenario: Scenario, batch: bool):
             seed=scenario.scenario_seed,
             corrupt=scenario.build_corrupt(),
         )
-        return runner.run(
-            lambda party: Preprocessing(
+
+        def factory(party):
+            kwargs = {}
+            if scenario.adversary == "bad_triple_dealer" and party.id == 1:
+                kwargs["dealer_triples"] = bad_dealer_triples(scenario)
+            return Preprocessing(
                 party,
                 "preproc",
                 ts=scenario.ts,
@@ -133,9 +167,11 @@ def run_preprocessing(scenario: Scenario, batch: bool):
                 num_triples=scenario.num_triples,
                 anchor=0.0,
                 shard_size=scenario.shard_size,
-            ),
-            max_time=5_000_000.0,
-        )
+                mode=scenario.offline,
+                **kwargs,
+            )
+
+        return runner.run(factory, max_time=5_000_000.0)
     finally:
         set_batch_enabled(previous)
 
@@ -234,6 +270,99 @@ def test_scenario_diagonal(scenario):
 def test_scenario_matrix(params, adversary, network, shard_size):
     n, ts, ta = params
     assert_batch_equals_scalar(Scenario(n, ts, ta, adversary, network, shard_size))
+
+
+# -- the HIM offline pipeline: same grid, second mode -------------------------------
+
+
+@pytest.mark.parametrize(
+    "scenario",
+    [
+        Scenario(4, 1, 0, "honest", "sync", None, offline="him"),
+        Scenario(4, 1, 0, "crash", "sync", 1, offline="him"),
+        Scenario(5, 1, 1, "equivocating_dealer", "async", None, offline="him"),
+    ],
+    ids=lambda s: f"him-{s.n}p-{s.adversary}-{s.network}-shard{s.shard_size}",
+)
+def test_him_scenario_diagonal(scenario):
+    """Tier-1 diagonal for ``offline="him"``: the batch/scalar twin gate is
+    armed for the HIM pipeline exactly like for the reference pipeline."""
+    assert_batch_equals_scalar(scenario)
+
+
+@pytest.mark.tier2
+@pytest.mark.parametrize("params", PARAM_SETS, ids=lambda p: f"n{p[0]}ts{p[1]}ta{p[2]}")
+@pytest.mark.parametrize("adversary", ADVERSARIES)
+@pytest.mark.parametrize("network", NETWORKS)
+@pytest.mark.parametrize("shard_size", SHARDS, ids=lambda s: f"shard{s}")
+def test_him_scenario_matrix(params, adversary, network, shard_size):
+    n, ts, ta = params
+    assert_batch_equals_scalar(
+        Scenario(n, ts, ta, adversary, network, shard_size, offline="him")
+    )
+
+
+def test_him_bad_dealer_is_discarded_and_extraction_continues():
+    """n=5: the sacrifice check publicly catches the rigged dealer; the
+    survivors (2t_s+1 of them) still extract the full triple budget, and the
+    batch/scalar twins agree on every bit of it."""
+    scenario = Scenario(5, 1, 1, "bad_triple_dealer", "sync", None, offline="him")
+    batched = run_preprocessing(scenario, batch=True)
+    scalar = run_preprocessing(scenario, batch=False)
+
+    outputs = batched.honest_outputs()
+    assert len(outputs) == 5  # P_1 is protocol-honest, only its triples are rigged
+    assert triples_are_valid(batched, scenario.ts)
+    for instance in batched.instances.values():
+        assert instance.discarded_dealers == [1]
+    assert canonical_outputs(batched) == canonical_outputs(scalar)
+    assert transcript_fingerprint(batched) == transcript_fingerprint(scalar)
+
+
+@pytest.mark.parametrize("batch", [True, False], ids=["batch", "scalar"])
+def test_him_bad_dealer_aborts_loudly_below_survivor_threshold(batch):
+    """n=4: discarding the rigged dealer leaves 2 < 2t_s+1 survivors, so the
+    extraction must abort with the named exception -- never silently emit
+    triples from a pool that can no longer guarantee randomness."""
+    scenario = Scenario(4, 1, 0, "bad_triple_dealer", "sync", None, offline="him")
+    with pytest.raises(HimExtractionAbort) as excinfo:
+        run_preprocessing(scenario, batch=batch)
+    assert excinfo.value.discarded == [1]
+    assert len(excinfo.value.survivors) == 2
+
+
+def test_him_sharded_round_payloads_are_bounded():
+    """Satellite contract, HIM edition: the offline-mode-aware bound holds
+    for every sharded round and really binds (the unsharded run exceeds it)."""
+    scenario_sharded = Scenario(
+        4, 1, 0, "honest", "sync", 1, num_triples=3, offline="him"
+    )
+    scenario_full = Scenario(
+        4, 1, 0, "honest", "sync", None, num_triples=3, offline="him"
+    )
+    sharded = run_preprocessing(scenario_sharded, batch=True)
+    unsharded = run_preprocessing(scenario_full, batch=True)
+
+    slots = him_slots(4, 1, 3)
+    assert slots >= 3  # several slots, so shard_size=1 is a real constraint
+    bound = sharded_triple_message_bound(1, 1, FIELD.element_bits(), offline="him")
+    full_bound = sharded_triple_message_bound(
+        slots, 1, FIELD.element_bits(), offline="him"
+    )
+
+    assert max_message_bits(sharded.metrics) <= bound
+    assert max_message_bits(unsharded.metrics) > bound
+    assert max_message_bits(unsharded.metrics) <= full_bound
+    assert sharded.metrics.max_message_bits_by_round
+    assert all(
+        heaviest <= bound
+        for heaviest in sharded.metrics.max_message_bits_by_round.values()
+    )
+
+    # Sharding must not change what is produced: same triple count, still valid.
+    assert triples_are_valid(sharded, 1) and triples_are_valid(unsharded, 1)
+    counts = {len(out) for out in sharded.honest_outputs().values()}
+    assert counts == {len(next(iter(unsharded.honest_outputs().values())))}
 
 
 # -- sharding-specific contracts ----------------------------------------------------

@@ -240,6 +240,57 @@ class TestCrashRejoin:
         degraded = svc.evaluate(product_circuit(), INPUTS)  # 3 still down
         assert degraded.degraded and 3 not in degraded.parties
 
+    def test_crash_mid_him_refill_abandons_round_and_discards_late_deposits(self):
+        """Satellite regression: a refill round running the HIM pipeline
+        (``ServiceConfig(offline="him")``) that is abandoned mid-extraction
+        must behave exactly like the stalled ΠTripSh round -- written off at
+        rejoin, its late output discarded by the deposit guard, reservoir
+        heads still aligned -- and the service must then refill and evaluate
+        cleanly with HIM triples."""
+        from repro.triples import HimPreprocessing
+
+        # shard_size=1 splits the HIM refill into many sequential extraction
+        # rounds, guaranteeing the round is still mid-extraction when the
+        # crashes land (an unsharded HIM round is fast enough to finish
+        # inside the evaluation window).
+        # The settle pass waits up to stall_margin x the (sharded, so long)
+        # nominal HIM bound before writing the round off; the rejoin deadline
+        # must outlast that wait or the handshake times out spuriously.
+        cfg = small_config(
+            low_watermark=8,
+            high_watermark=10,
+            offline="him",
+            shard_size=1,
+            rejoin_deadline=500_000.0,
+        )
+        svc = MpcService(4, 1, 0, config=cfg, seed=14)
+        svc.evaluate(product_circuit(), INPUTS)
+        svc.checkpoint()
+        degraded_before = svc.evaluate(product_circuit(), INPUTS)
+        assert not degraded_before.degraded
+        assert svc._inflight is not None  # background HIM refill in flight
+        assert all(
+            isinstance(inst, HimPreprocessing) for inst in svc._inflight.values()
+        )
+        abandoned_round = svc._inflight_round
+        svc.crash_party(3)
+        svc.crash_party(4)  # 2 > t_s: the in-flight HIM round can never finish
+        report = svc.rejoin_party(4)  # quorum 2 is met by peers 1 and 2
+        assert report.party_id == 4
+        assert abandoned_round in svc._abandoned_rounds
+        produced_after_rejoin = svc.reservoir.produced
+        degraded = svc.evaluate(product_circuit(), INPUTS)  # 3 still down
+        assert degraded.degraded and 3 not in degraded.parties
+        # The written-off round's late deposits were dropped by the guard:
+        # whatever the reservoir gained came from fresh post-rejoin rounds,
+        # and the heads stayed aligned for the live parties throughout.
+        assert svc.reservoir.produced >= produced_after_rejoin
+        report3 = svc.rejoin_party(3)
+        assert report3.party_id == 3
+        clean = svc.evaluate(product_circuit(), INPUTS)
+        assert not clean.degraded
+        assert clean.output_values == [PRODUCT]
+
     def test_crash_rejoin_outputs_match_uninterrupted_run(self):
         """Acceptance: the seeded crash-rejoin stream produces outputs
         identical to the uninterrupted seeded run (triples are random masks,
