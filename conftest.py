@@ -27,19 +27,27 @@ def pytest_addoption(parser):
         "--field-kernel",
         action="store",
         default=None,
-        choices=("int", "numpy"),
+        choices=("int", "numpy", "gmpy2"),
         help="Run the whole suite under one numerical field kernel backend "
-        "(default: auto-select numpy when importable). Both kernels are "
-        "exact, so the suite must pass identically under either.",
+        "(default: auto-select numpy when importable). Every kernel is "
+        "exact, so the suite must pass identically under any of them; "
+        "selecting an uninstalled backend (e.g. gmpy2) fails fast.",
     )
 
 
 def pytest_configure(config):
     requested = config.getoption("--field-kernel")
     if requested:
+        import pytest
+
         from repro.field.kernels import set_kernel_backend
 
-        set_kernel_backend(requested)
+        try:
+            set_kernel_backend(requested)
+        except ValueError as exc:
+            # e.g. --field-kernel=gmpy2 on a machine without gmpy2: fail
+            # fast with a clean message instead of an INTERNALERROR dump.
+            raise pytest.UsageError(str(exc))
     config.addinivalue_line("markers", "slow: long-running test")
     config.addinivalue_line(
         "markers",
@@ -71,6 +79,12 @@ def pytest_configure(config):
         "tests/conftest.py timeout fixture gives each a hard per-test "
         "wall-clock cap so a wedged socket can never hang tier-1 "
         "(override with @pytest.mark.tcp(timeout=N))",
+    )
+    config.addinivalue_line(
+        "markers",
+        "calibrate: runs the dispatch-threshold calibration CLI (smoke mode) "
+        "in a subprocess; covered by the tests/conftest.py wall-clock cap "
+        "(override with @pytest.mark.calibrate(timeout=N))",
     )
 
 

@@ -93,7 +93,7 @@ def rs_interpolate_with_errors(
         if poly is None:
             continue
         # Verify the error bound actually holds for the decoded polynomial.
-        mismatches = sum(1 for x, y in zip(xs, ys) if poly.evaluate(x) != y)
+        mismatches = sum(1 for x, y in zip(xs, ys) if poly.eval_int(x) != y.value)
         if mismatches <= max_errors:
             return poly
     return None
@@ -158,7 +158,7 @@ def rs_decode(
     poly = rs_interpolate_with_errors(field, points, degree, max_errors)
     if poly is None:
         return None
-    agreeing = sum(1 for x, y in points if poly.evaluate(x) == field(y))
+    agreeing = sum(1 for x, y in points if poly.eval_int(x) == int(field(y)))
     if agreeing < degree + max_errors + 1:
         return None
     return poly
@@ -201,16 +201,26 @@ def rs_decode_batch(
         return results
 
     # Batched base-window candidate pass: every row shares the same window,
-    # so prediction at all points and coefficient extraction are two matrix
-    # products against cached matrices (limb-decomposed uint64 matmuls under
-    # the numpy kernel, the historical per-row dot products under "int").
+    # so prediction and coefficient extraction are two matrix products
+    # against cached matrices (limb-decomposed uint64 matmuls under the
+    # numpy kernel, the historical per-row dot products under "int").  The
+    # candidate interpolates its window points *exactly*, so mismatches can
+    # only occur at the complement positions -- prediction runs against the
+    # ``n - (degree + 1)`` non-window columns only, shrinking the dominant
+    # matmul by a factor of ``n / 2 * max_errors``-ish.
     matrix = kernel.as_matrix(p, rows)
     base_window = tuple(range(degree + 1))
     base_xs = tuple(xs_int[i] for i in base_window)
-    eval_matrix = lagrange_matrix(field, base_xs, xs_int)
+    complement = tuple(range(degree + 1, n_points))
     heads = kernel.take_columns(matrix, base_window)
-    predicted = kernel.mat_rows(p, eval_matrix, heads, native=True)
-    mismatch = kernel.mismatch_counts(predicted, matrix)
+    if complement:
+        comp_xs = tuple(xs_int[i] for i in complement)
+        eval_matrix = lagrange_matrix(field, base_xs, comp_xs)
+        predicted = kernel.mat_rows(p, eval_matrix, heads, native=True)
+        tail = kernel.take_columns(matrix, complement)
+        mismatch = kernel.mismatch_counts(predicted, tail)
+    else:
+        mismatch = [0] * len(rows)
     accepted = [
         index
         for index, count in enumerate(mismatch)
@@ -219,10 +229,12 @@ def rs_decode_batch(
     if accepted:
         coeff_matrix = inverse_vandermonde(field, base_xs)
         coeff_rows = kernel.mat_rows(
-            p, coeff_matrix, kernel.take_rows(heads, accepted)
+            p, coeff_matrix, kernel.take_rows(heads, accepted), native=True
         )
-        for index, coeffs in zip(accepted, coeff_rows):
-            results[index] = Polynomial.from_reduced_ints(field, coeffs)
+        for index, poly in zip(
+            accepted, Polynomial.from_native_rows(field, coeff_rows)
+        ):
+            results[index] = poly
     if len(accepted) == len(results):
         return results
 
@@ -236,11 +248,22 @@ def rs_decode_batch(
         row, so accepted rows match what the scalar path would return.
         """
         window_xs = tuple(xs_int[i] for i in window)
-        window_eval = lagrange_matrix(field, window_xs, xs_int)
+        window_set = set(window)
+        win_complement = tuple(
+            i for i in range(n_points) if i not in window_set
+        )
         sub = kernel.take_rows(matrix, pending)
         sub_heads = kernel.take_columns(sub, window)
-        sub_predicted = kernel.mat_rows(p, window_eval, sub_heads, native=True)
-        sub_mismatch = kernel.mismatch_counts(sub_predicted, sub)
+        if win_complement:
+            comp_xs = tuple(xs_int[i] for i in win_complement)
+            window_eval = lagrange_matrix(field, window_xs, comp_xs)
+            sub_predicted = kernel.mat_rows(
+                p, window_eval, sub_heads, native=True
+            )
+            sub_tail = kernel.take_columns(sub, win_complement)
+            sub_mismatch = kernel.mismatch_counts(sub_predicted, sub_tail)
+        else:
+            sub_mismatch = [0] * len(pending)
         hits = [
             k
             for k, count in enumerate(sub_mismatch)
@@ -249,13 +272,17 @@ def rs_decode_batch(
         if not hits:
             return
         window_coeff = inverse_vandermonde(field, window_xs)
-        hit_coeffs = kernel.mat_rows(p, window_coeff, kernel.take_rows(sub_heads, hits))
-        for k, coeffs in zip(hits, hit_coeffs):
-            results[pending[k]] = Polynomial.from_reduced_ints(field, coeffs)
+        hit_coeffs = kernel.mat_rows(
+            p, window_coeff, kernel.take_rows(sub_heads, hits), native=True
+        )
+        for k, poly in zip(hits, Polynomial.from_native_rows(field, hit_coeffs)):
+            results[pending[k]] = poly
 
     undecided = [index for index in range(len(results)) if results[index] is None]
-    while undecided:
-        index = undecided.pop(0)
+    cursor = 0
+    while cursor < len(undecided):
+        index = undecided[cursor]
+        cursor += 1
         if results[index] is not None:
             continue
         values = kernel.matrix_row(matrix, index)
@@ -266,10 +293,10 @@ def rs_decode_batch(
         agreeing = [
             i
             for i, (x, v) in enumerate(zip(xs_int, values))
-            if int(poly.evaluate(x)) == v
+            if poly.eval_int(x) == v
         ]
         if len(agreeing) >= degree + 1:
-            pending = [k for k in undecided if results[k] is None]
+            pending = [k for k in undecided[cursor:] if results[k] is None]
             if pending:
                 apply_window_batched(tuple(agreeing[: degree + 1]), pending)
     return results

@@ -252,9 +252,10 @@ class BatchSymmetricBivariate:
         rng = rng or random
         p = field.modulus
         t = univariate.degree
+        residues = univariate.residues
         coeffs = [[0] * (t + 1) for _ in range(t + 1)]
         for j in range(t + 1):
-            value = int(univariate.coeffs[j]) if j < len(univariate.coeffs) else 0
+            value = residues[j] if j < len(residues) else 0
             coeffs[0][j] = value
             coeffs[j][0] = value
         for i in range(1, t + 1):
@@ -290,11 +291,9 @@ class BatchSymmetricBivariate:
         selected = rows[: degree + 1]
         p = field.modulus
         ys = [int(field(alpha)) % p for alpha, _ in selected]
+        residue_rows = [poly.residues for _, poly in selected]
         value_rows = [
-            [
-                int(poly.coeffs[k]) if k < len(poly.coeffs) else 0
-                for _, poly in selected
-            ]
+            [row[k] if k < len(row) else 0 for row in residue_rows]
             for k in range(degree + 1)
         ]
         coeffs = batch_interpolate(field, ys, value_rows)
@@ -339,8 +338,8 @@ class BatchSymmetricBivariate:
         """
         field = self.field
         v_matrix = vandermonde_matrix(field, ys, self.degree)
-        rows = get_kernel().mat_rows(field.modulus, self.coeffs, v_matrix)
-        return [Polynomial.from_reduced_ints(field, row) for row in rows]
+        rows = get_kernel().mat_rows(field.modulus, self.coeffs, v_matrix, native=True)
+        return Polynomial.from_native_rows(field, rows)
 
     def eval_grid(self, xs: Sequence, ys: Sequence) -> List[List[int]]:
         """The full value table ``grid[a][b] = Q(xs[a], ys[b])`` in one shot.
@@ -360,7 +359,7 @@ class BatchSymmetricBivariate:
 
     def zero_row(self) -> Polynomial:
         """Q(0, y): the dealer's embedded univariate polynomial."""
-        return Polynomial(self.field, list(self.coeffs[0]))
+        return Polynomial.from_native(self.field, list(self.coeffs[0]))
 
     def secret(self) -> FieldElement:
         """F(0, 0), the shared secret."""

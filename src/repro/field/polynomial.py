@@ -3,6 +3,20 @@
 Shamir sharing, OEC and the triple protocols all manipulate d-degree
 univariate polynomials; this module provides construction, evaluation,
 arithmetic and Lagrange interpolation for them.
+
+Coefficient storage is *kernel-native* (mirroring
+:class:`~repro.field.array.FieldArray`): a :class:`Polynomial` holds its
+coefficients as reduced residues in whatever form the active numerical
+kernel produced them -- a plain list of Python ints, or a ``uint64`` numpy
+row sliced straight out of a kernel matrix product.  The decode-side hot
+paths (``rs_decode_batch`` candidate construction, batch OEC, bivariate row
+extraction, packed row payloads) construct polynomials through
+:meth:`Polynomial.from_native` / :meth:`Polynomial.from_reduced_ints` and
+read them back through :attr:`Polynomial.residues`, so they never
+materialize a boxed :class:`~repro.field.gf.FieldElement` per coefficient.
+The historical boxed view, :attr:`Polynomial.coeffs`, is a lazily-built
+property -- same elements as always, paid for only by callers that actually
+index into it.
 """
 
 from __future__ import annotations
@@ -13,60 +27,127 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.field.gf import GF, FieldElement
 
 
-class Polynomial:
-    """A univariate polynomial over GF(p), stored as a coefficient list.
+def _strip_trailing_zeros(values):
+    """Trailing-zero-stripped residue vector (kernel-native form preserved).
 
-    ``coeffs[k]`` is the coefficient of x**k.  Trailing zero coefficients
-    are stripped, except that the zero polynomial keeps a single zero
-    coefficient.
+    Never boxes and never copies a list that needs no stripping; ndarray
+    inputs are trimmed with a slice (a view -- cheap) so uint64 rows from a
+    kernel matrix product stay native.
+    """
+    if isinstance(values, tuple):
+        values = list(values)
+    if isinstance(values, list):
+        if values and values[-1] == 0:
+            end = len(values)
+            while end > 1 and values[end - 1] == 0:
+                end -= 1
+            return values[:end]
+        return values
+    # Kernel-native array (uint64 row): find the last nonzero entry without
+    # round-tripping through Python ints.
+    length = len(values)
+    if length > 1 and values[length - 1] == 0:
+        nonzero = values.nonzero()[0]
+        end = int(nonzero[-1]) + 1 if len(nonzero) else 1
+        return values[:end]
+    return values
+
+
+class Polynomial:
+    """A univariate polynomial over GF(p), stored as reduced residues.
+
+    ``coeffs[k]`` is the (boxed) coefficient of x**k; :attr:`residues` is
+    the same data as plain Python ints and :attr:`native` is the raw
+    kernel-native storage.  Trailing zero coefficients are stripped, except
+    that the zero polynomial keeps a single zero coefficient.
     """
 
-    __slots__ = ("field", "coeffs")
+    __slots__ = ("field", "_native", "_ints", "_boxed")
 
-    def __init__(self, field: GF, coeffs: Sequence[FieldElement]):
+    def __init__(self, field: GF, coeffs: Sequence):
         self.field = field
-        normalized = [field(c) for c in coeffs] or [field.zero()]
-        while len(normalized) > 1 and normalized[-1].value == 0:
-            normalized.pop()
-        self.coeffs = normalized
+        p = field.modulus
+        values: List[int] = []
+        append = values.append
+        for c in coeffs:
+            # Same-field fast path: an already-boxed element of this field
+            # contributes its residue directly instead of round-tripping
+            # through GF.__call__ (which re-validates and re-boxes).
+            if type(c) is FieldElement:
+                if c.field.modulus != p:
+                    raise ValueError("element belongs to a different field")
+                append(c.value)
+            else:
+                append(int(c) % p)
+        self._native = _strip_trailing_zeros(values) or [0]
+        self._ints = self._native
+        self._boxed = None
 
     # -- constructors -----------------------------------------------------
     @classmethod
-    def from_reduced_ints(cls, field: GF, values: Sequence[int]) -> "Polynomial":
-        """Trusted fast constructor from already-reduced int residues.
+    def from_native(cls, field: GF, values) -> "Polynomial":
+        """Trusted fast constructor from kernel-native reduced residues.
 
-        Skips the per-coefficient :meth:`GF.__call__` coercion of the public
-        constructor (the caller guarantees ``0 <= v < p``); trailing-zero
+        ``values`` is a list of already-reduced Python ints or a uint64
+        kernel row (e.g. one row of a ``mat_rows(..., native=True)``
+        product); the caller guarantees ``0 <= v < p``.  Trailing-zero
         stripping still applies, so the result is indistinguishable from
-        ``Polynomial(field, values)``.  Used by the batched bivariate row
-        extraction, where boxing dominates the dealer distribution.
+        ``Polynomial(field, values)``.  No coefficient is ever boxed -- the
+        boxed view materializes lazily if someone touches ``.coeffs``.
         """
         poly = object.__new__(cls)
         poly.field = field
-        # Strip trailing zeros on the raw ints before boxing -- batched RS
-        # decoding builds thousands of these per call, so never boxing a
-        # coefficient that would be popped again matters.
-        values = list(values)
-        while len(values) > 1 and values[-1] == 0:
-            values.pop()
-        new = FieldElement.__new__
-        coeffs = []
-        append = coeffs.append
-        for v in values:
-            element = new(FieldElement)
-            element.value = v
-            element.field = field
-            append(element)
-        poly.coeffs = coeffs or [field.zero()]
+        native = _strip_trailing_zeros(values)
+        if isinstance(native, list):
+            poly._native = native or [0]
+            poly._ints = poly._native
+        else:
+            poly._native = native if len(native) else [0]
+            poly._ints = None
+        poly._boxed = None
         return poly
+
+    #: Historical name for the trusted residue constructor; the internal
+    #: default everywhere the caller already holds reduced residues.
+    from_reduced_ints = from_native
+
+    @classmethod
+    def from_native_rows(cls, field: GF, matrix) -> List["Polynomial"]:
+        """One polynomial per row of a kernel matrix product (batch form).
+
+        Faster than mapping :meth:`from_native` over the rows: a uint64
+        kernel matrix converts to Python ints in a single C-level
+        ``tolist`` call and the per-row trailing-zero check is a plain int
+        comparison, so batched decoders pay no per-row numpy scalar
+        overhead.  Semantically identical to
+        ``[Polynomial.from_native(field, row) for row in matrix]``.
+        """
+        if not isinstance(matrix, list):
+            matrix = matrix.tolist()
+        polys = []
+        append = polys.append
+        new = object.__new__
+        for row in matrix:
+            if row and row[-1] == 0:
+                end = len(row)
+                while end > 1 and row[end - 1] == 0:
+                    end -= 1
+                row = row[:end]
+            poly = new(cls)
+            poly.field = field
+            poly._native = row or [0]
+            poly._ints = poly._native
+            poly._boxed = None
+            append(poly)
+        return polys
 
     @classmethod
     def zero(cls, field: GF) -> "Polynomial":
-        return cls(field, [field.zero()])
+        return cls.from_native(field, [0])
 
     @classmethod
     def constant(cls, field: GF, value) -> "Polynomial":
-        return cls(field, [field(value)])
+        return cls(field, [value])
 
     @classmethod
     def random(
@@ -80,32 +161,80 @@ class Polynomial:
 
         If ``constant_term`` is provided the polynomial is random subject to
         f(0) = constant_term (the standard way a dealer hides a secret).
+        Draws one ``randrange(p)`` per coefficient, in the same order the
+        boxed implementation always did.
         """
         rng = rng or random
-        coeffs = [field.random(rng) for _ in range(degree + 1)]
+        p = field.modulus
+        coeffs = [rng.randrange(p) for _ in range(degree + 1)]
         if constant_term is not None:
-            coeffs[0] = field(constant_term)
-        return cls(field, coeffs)
+            coeffs[0] = int(field(constant_term))
+        return cls.from_native(field, coeffs)
+
+    # -- storage views -----------------------------------------------------
+    @property
+    def native(self):
+        """The kernel-native coefficient storage (int list or uint64 row)."""
+        return self._native
+
+    @property
+    def residues(self) -> List[int]:
+        """Coefficients as a list of Python ints (lazily materialized)."""
+        if self._ints is None:
+            self._ints = self._native.tolist()
+        return self._ints
+
+    @property
+    def coeffs(self) -> List[FieldElement]:
+        """The boxed coefficient list (lazily materialized, then cached)."""
+        if self._boxed is None:
+            field = self.field
+            new = FieldElement.__new__
+            boxed = []
+            append = boxed.append
+            for v in self.residues:
+                element = new(FieldElement)
+                element.value = v
+                element.field = field
+                append(element)
+            self._boxed = boxed
+        return self._boxed
 
     # -- basic queries -----------------------------------------------------
     @property
     def degree(self) -> int:
         """Degree of the polynomial (0 for constants, including zero)."""
-        return len(self.coeffs) - 1
+        return len(self._native) - 1
 
     def is_zero(self) -> bool:
-        return len(self.coeffs) == 1 and self.coeffs[0].value == 0
+        return len(self._native) == 1 and int(self._native[0]) == 0
 
     def constant_term(self) -> FieldElement:
-        return self.coeffs[0]
+        return FieldElement(int(self._native[0]), self.field)
+
+    def constant_residue(self) -> int:
+        """f(0) as a plain int residue (no boxing)."""
+        return int(self._native[0])
+
+    def _x_residue(self, x) -> int:
+        if isinstance(x, FieldElement):
+            if x.field.modulus != self.field.modulus:
+                raise ValueError("element belongs to a different field")
+            return x.value
+        return int(x) % self.field.modulus
+
+    def eval_int(self, x) -> int:
+        """Evaluate at x via Horner's rule on int residues (no boxing)."""
+        x_val = self._x_residue(x)
+        p = self.field.modulus
+        acc = 0
+        for coeff in reversed(self.residues):
+            acc = (acc * x_val + coeff) % p
+        return acc
 
     def evaluate(self, x) -> FieldElement:
         """Evaluate at x using Horner's rule."""
-        x = self.field(x)
-        acc = self.field.zero()
-        for coeff in reversed(self.coeffs):
-            acc = acc * x + coeff
-        return acc
+        return FieldElement(self.eval_int(x), self.field)
 
     __call__ = evaluate
 
@@ -113,37 +242,48 @@ class Polynomial:
         return [self.evaluate(x) for x in xs]
 
     # -- arithmetic --------------------------------------------------------
-    def _pad(self, length: int) -> List[FieldElement]:
-        return self.coeffs + [self.field.zero()] * (length - len(self.coeffs))
+    def _padded(self, length: int) -> List[int]:
+        values = self.residues
+        if len(values) >= length:
+            return values
+        return values + [0] * (length - len(values))
 
     def __add__(self, other: "Polynomial") -> "Polynomial":
-        length = max(len(self.coeffs), len(other.coeffs))
-        return Polynomial(
+        p = self.field.modulus
+        length = max(len(self._native), len(other._native))
+        return Polynomial.from_native(
             self.field,
-            [a + b for a, b in zip(self._pad(length), other._pad(length))],
+            [(a + b) % p for a, b in zip(self._padded(length), other._padded(length))],
         )
 
     def __sub__(self, other: "Polynomial") -> "Polynomial":
-        length = max(len(self.coeffs), len(other.coeffs))
-        return Polynomial(
+        p = self.field.modulus
+        length = max(len(self._native), len(other._native))
+        return Polynomial.from_native(
             self.field,
-            [a - b for a, b in zip(self._pad(length), other._pad(length))],
+            [(a - b) % p for a, b in zip(self._padded(length), other._padded(length))],
         )
 
     def __neg__(self) -> "Polynomial":
-        return Polynomial(self.field, [-c for c in self.coeffs])
+        p = self.field.modulus
+        return Polynomial.from_native(self.field, [(-c) % p for c in self.residues])
 
     def __mul__(self, other) -> "Polynomial":
+        p = self.field.modulus
         if isinstance(other, (int, FieldElement)):
-            scalar = self.field(other)
-            return Polynomial(self.field, [c * scalar for c in self.coeffs])
-        result = [self.field.zero()] * (len(self.coeffs) + len(other.coeffs) - 1)
-        for i, a in enumerate(self.coeffs):
-            if a.value == 0:
+            scalar = self._x_residue(other)
+            return Polynomial.from_native(
+                self.field, [c * scalar % p for c in self.residues]
+            )
+        a_coeffs = self.residues
+        b_coeffs = other.residues
+        result = [0] * (len(a_coeffs) + len(b_coeffs) - 1)
+        for i, a in enumerate(a_coeffs):
+            if a == 0:
                 continue
-            for j, b in enumerate(other.coeffs):
-                result[i + j] = result[i + j] + a * b
-        return Polynomial(self.field, result)
+            for j, b in enumerate(b_coeffs):
+                result[i + j] = (result[i + j] + a * b) % p
+        return Polynomial.from_native(self.field, result)
 
     __rmul__ = __mul__
 
@@ -151,17 +291,22 @@ class Polynomial:
         """Polynomial long division; returns (quotient, remainder)."""
         if divisor.is_zero():
             raise ZeroDivisionError("polynomial division by zero")
-        remainder = list(self.coeffs)
-        quotient = [self.field.zero()] * max(1, len(remainder) - len(divisor.coeffs) + 1)
-        divisor_lead_inv = divisor.coeffs[-1].inverse()
-        for shift in range(len(remainder) - len(divisor.coeffs), -1, -1):
-            factor = remainder[shift + len(divisor.coeffs) - 1] * divisor_lead_inv
+        p = self.field.modulus
+        remainder = list(self.residues)
+        div_coeffs = divisor.residues
+        quotient = [0] * max(1, len(remainder) - len(div_coeffs) + 1)
+        divisor_lead_inv = pow(div_coeffs[-1], p - 2, p)
+        for shift in range(len(remainder) - len(div_coeffs), -1, -1):
+            factor = remainder[shift + len(div_coeffs) - 1] * divisor_lead_inv % p
             quotient[shift] = factor
-            if factor.value == 0:
+            if factor == 0:
                 continue
-            for k, dcoeff in enumerate(divisor.coeffs):
-                remainder[shift + k] = remainder[shift + k] - factor * dcoeff
-        return Polynomial(self.field, quotient), Polynomial(self.field, remainder)
+            for k, dcoeff in enumerate(div_coeffs):
+                remainder[shift + k] = (remainder[shift + k] - factor * dcoeff) % p
+        return (
+            Polynomial.from_native(self.field, quotient),
+            Polynomial.from_native(self.field, remainder),
+        )
 
     def __floordiv__(self, divisor: "Polynomial") -> "Polynomial":
         return self.divmod(divisor)[0]
@@ -173,15 +318,13 @@ class Polynomial:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Polynomial):
             return NotImplemented
-        return self.field == other.field and [c.value for c in self.coeffs] == [
-            c.value for c in other.coeffs
-        ]
+        return self.field == other.field and self.residues == other.residues
 
     def __hash__(self) -> int:
-        return hash((self.field.modulus, tuple(c.value for c in self.coeffs)))
+        return hash((self.field.modulus, tuple(self.residues)))
 
     def __repr__(self) -> str:
-        return f"Polynomial(degree={self.degree}, coeffs={[c.value for c in self.coeffs]})"
+        return f"Polynomial(degree={self.degree}, coeffs={self.residues})"
 
 
 def lagrange_coefficients(field: GF, xs: Sequence, at) -> List[FieldElement]:

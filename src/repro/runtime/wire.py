@@ -153,7 +153,7 @@ def _encode(buf: bytearray, obj: Any) -> None:
         _w_int(buf, obj.value)
     elif isinstance(obj, Polynomial):
         buf += b"P"
-        _w_residues(buf, obj.field.modulus, [int(c) for c in obj.coeffs])
+        _w_residues(buf, obj.field.modulus, obj.residues)
     elif isinstance(obj, PackedFieldVector):
         buf += b"V"
         _w_residues(buf, obj.field.modulus, obj.values)

@@ -247,6 +247,6 @@ def batch_robust_reconstruct(
         raise BatchReconstructionError(failed)
     return FieldArray(
         field,
-        [poly.constant_term().value for poly in decoded],  # type: ignore[union-attr]
+        [poly.constant_residue() for poly in decoded],  # type: ignore[union-attr]
         _normalized=True,
     )

@@ -57,10 +57,10 @@ class PackedPolynomialRows:
 
     @classmethod
     def pack(cls, field, rows: List[Polynomial]) -> "PackedPolynomialRows":
-        values = [int(c) for row in rows for c in row.coeffs]
+        values = [c for row in rows for c in row.residues]
         return cls(
             PackedFieldVector(field, values, _normalized=True),
-            tuple(len(row.coeffs) for row in rows),
+            tuple(len(row.residues) for row in rows),
         )
 
     def rows(self) -> List[Polynomial]:
@@ -154,7 +154,7 @@ def row_value_table(field, rows, party_ids):
     """
     if batch_enabled():
         alphas = [int(field.alpha(j)) for j in party_ids]
-        coeff_rows = [[int(c) for c in row.coeffs] for row in rows]
+        coeff_rows = [row.residues for row in rows]
         table = batch_evaluate(field, coeff_rows, alphas)
         return [[FieldElement(v, field) for v in values] for values in table]
     return [[row.evaluate(field.alpha(j)) for j in party_ids] for row in rows]

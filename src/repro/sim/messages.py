@@ -48,7 +48,8 @@ def payload_bits(payload: Any) -> int:
     if isinstance(payload, FieldElement):
         return payload.field.element_bits()
     if isinstance(payload, Polynomial):
-        return sum(payload_bits(c) for c in payload.coeffs)
+        # One element per coefficient, without boxing any of them.
+        return len(payload.residues) * payload.field.element_bits()
     if isinstance(payload, bool):
         return 1
     if isinstance(payload, int):

@@ -36,22 +36,27 @@ def small_field() -> GF:
 
 @pytest.fixture(autouse=True)
 def _tcp_test_timeout(request):
-    """Hard per-test wall-clock cap for ``tcp``- and ``service``-marked tests.
+    """Hard per-test wall-clock cap for ``tcp``/``service``/``calibrate`` tests.
 
     Socket tests must never hang the tier-1 run (a lost stop frame or a
     wedged child process would otherwise block pytest forever, since there
-    is no pytest-timeout plugin in this environment), and the long-lived
+    is no pytest-timeout plugin in this environment), the long-lived
     service tests drive open-ended streams (refill loops, rejoin retries)
-    where a bug could spin instead of fail.  SIGALRM fires in the main
-    thread, interrupting even a blocked ``asyncio.run``.
+    where a bug could spin instead of fail, and the calibration smoke test
+    spawns a measuring subprocess whose runtime scales with machine noise.
+    SIGALRM fires in the main thread, interrupting even a blocked
+    ``asyncio.run`` or ``subprocess.run``.
     """
-    marker = request.node.get_closest_marker("tcp") or request.node.get_closest_marker(
-        "service"
+    marker = (
+        request.node.get_closest_marker("tcp")
+        or request.node.get_closest_marker("service")
+        or request.node.get_closest_marker("calibrate")
     )
     if marker is None or not hasattr(signal, "SIGALRM"):
         yield
         return
-    default_seconds = 120 if marker.name == "tcp" else 300
+    defaults = {"tcp": 120, "service": 300, "calibrate": 300}
+    default_seconds = defaults[marker.name]
     seconds = int(marker.kwargs.get("timeout", default_seconds))
 
     def _on_alarm(signum, frame):

@@ -1,0 +1,215 @@
+"""The gmpy2 kernel's op layer, testable with or without gmpy2 installed.
+
+:class:`repro.field.kernels.Gmpy2Kernel` accepts an injected ``module`` so
+its mpz code paths (element-wise mul, Montgomery batch inversion, dot,
+``rowmat``/``rows_dot``/``mat_rows``/``mat_vecs``) can be exercised against
+the int-residue reference kernel even on machines without gmpy2 -- the
+stand-in below implements ``mpz``/``invert`` with plain-int semantics, so
+every branch of the gmpy2 kernel runs, only the scalar type differs.  The
+equivalence properties run at a >=64-bit modulus (the Mersenne prime
+2^89 - 1, where the kernel's fast paths engage) with edge residues
+(0, 1, p-1) and unreduced inputs (>= p) mixed in, and straddle the
+``GMPY2_DISPATCH_THRESHOLDS`` crossovers so both the accelerated and the
+delegated small-input paths are covered.
+
+The tests at the bottom pin the *real* gmpy2 module and skip cleanly when
+it is absent; registry behavior (availability reporting, backend
+selection errors) is asserted either way.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.field import GF
+from repro.field.array import FieldArray
+from repro.field.kernels import (
+    GMPY2_DISPATCH_THRESHOLDS,
+    GMPY2_MIN_MODULUS_BITS,
+    Gmpy2Kernel,
+    IntKernel,
+    M61,
+    available_kernel_backends,
+    gmpy2_available,
+    set_kernel_backend,
+)
+
+#: The Mersenne prime 2^89 - 1: comfortably past GMPY2_MIN_MODULUS_BITS and
+#: outside the numpy kernel's limb range.
+P89 = (1 << 89) - 1
+
+#: Edge residues mixed into every vector: zero, one, p-1, and unreduced
+#: representatives at and above the modulus.
+EDGE_VALUES = [0, 1, P89 - 1, P89 - 2, P89, P89 + 1, 2 * P89 - 1]
+
+#: Sizes straddling the elementwise/inverse (32) and matmul (64) crossovers.
+SIZES = [1, 8, GMPY2_DISPATCH_THRESHOLDS["elementwise"] - 1,
+         GMPY2_DISPATCH_THRESHOLDS["elementwise"] + 5,
+         GMPY2_DISPATCH_THRESHOLDS["matmul_ops"] + 9, 200]
+
+
+class _IntMpz:
+    """gmpy2 stand-in: ``mpz`` is ``int``, ``invert`` is a Fermat inverse.
+
+    Semantically faithful for the kernel's usage (prime moduli only):
+    ``invert`` raises ZeroDivisionError on non-invertible input exactly
+    like ``gmpy2.invert``.
+    """
+
+    @staticmethod
+    def mpz(value=0):
+        return int(value)
+
+    @staticmethod
+    def invert(a, m):
+        a = int(a) % int(m)
+        if a == 0:
+            raise ZeroDivisionError("invert() no inverse exists")
+        return pow(a, int(m) - 2, int(m))
+
+
+KERNEL = Gmpy2Kernel(module=_IntMpz)
+REF = IntKernel()
+
+
+def _values(seed: int, size: int, lo: int = 0):
+    rng = random.Random(seed)
+    out = [rng.randrange(lo, P89) for _ in range(size)]
+    for offset, edge in enumerate(EDGE_VALUES):
+        if edge % P89 >= lo and size > 0:
+            out[(seed + offset) % size] = edge
+    return out
+
+
+def test_min_modulus_gate_delegates_to_int_path():
+    """Below GMPY2_MIN_MODULUS_BITS every op must take the inherited int
+    path (same results by construction, asserted anyway)."""
+    assert M61.bit_length() < GMPY2_MIN_MODULUS_BITS
+    a = _values(1, 100)
+    b = _values(2, 100)
+    assert KERNEL.mul(M61, a, b) == REF.mul(M61, a, b)
+    assert not KERNEL._fast(M61, 10**6, "elementwise")
+    assert KERNEL._fast(P89, GMPY2_DISPATCH_THRESHOLDS["elementwise"],
+                        "elementwise")
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**31), size=st.sampled_from(SIZES),
+       scalar=st.sampled_from(EDGE_VALUES + [987654321]))
+def test_property_mul_matches_int_kernel(seed, size, scalar):
+    a = _values(seed, size)
+    b = _values(seed + 1, size)
+    assert KERNEL.mul(P89, a, b) == REF.mul(P89, a, b)
+    assert KERNEL.mul(P89, a, scalar) == REF.mul(P89, a, scalar)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**31), size=st.sampled_from(SIZES))
+def test_property_batch_inverse_matches_int_kernel(seed, size):
+    values = _values(seed, size, lo=1)
+    out = KERNEL.batch_inverse(P89, values)
+    assert out == REF.batch_inverse(P89, values)
+    for v, inv in zip(values, out):
+        assert (v % P89) * inv % P89 == 1
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_batch_inverse_rejects_zero(size):
+    values = [1] * size
+    values[size // 2] = 0
+    with pytest.raises(ZeroDivisionError):
+        KERNEL.batch_inverse(P89, values)
+    # Unreduced multiples of p are zero residues too.
+    values[size // 2] = 2 * P89
+    with pytest.raises(ZeroDivisionError):
+        KERNEL.batch_inverse(P89, values)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**31), size=st.sampled_from(SIZES))
+def test_property_dot_matches_int_kernel(seed, size):
+    a = _values(seed, size)
+    b = _values(seed + 1, size)
+    assert KERNEL.dot(P89, a, b) == REF.dot(P89, a, b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**31), rows=st.sampled_from([1, 3, 9, 17]),
+       cols=st.sampled_from([1, 4, 12, 40]))
+def test_property_matrix_products_match_int_kernel(seed, rows, cols):
+    matrix = tuple(tuple(_values(seed + r, cols)) for r in range(rows))
+    vectors = [_values(seed + 100 + r, cols) for r in range(rows)]
+    data = [_values(seed + 200 + k, rows) for k in range(cols)]
+    # mat_rows consumes one data row per product against the whole matrix;
+    # the tuple-typed matrix also exercises the interned mpz cache.
+    assert KERNEL.mat_rows(P89, matrix, vectors) == REF.mat_rows(
+        P89, matrix, vectors
+    )
+    # Repeat with the same interned matrix: must hit the mpz cache.
+    assert KERNEL.mat_rows(P89, matrix, vectors) == REF.mat_rows(
+        P89, matrix, vectors
+    )
+    assert KERNEL.mat_vecs(P89, matrix, data) == REF.mat_vecs(P89, matrix, data)
+    row = _values(seed + 300, rows)
+    assert KERNEL.rowmat(P89, row, vectors) == REF.rowmat(P89, row, vectors)
+    long_row = _values(seed + 400, cols)
+    assert KERNEL.rows_dot(P89, vectors, long_row) == REF.rows_dot(
+        P89, vectors, long_row
+    )
+
+
+def test_structure_ops_inherited_from_int_kernel():
+    """Conversions/add/sub are inherited: native vectors stay int lists."""
+    a = _values(5, 80)
+    b = _values(6, 80)
+    out = KERNEL.add(P89, a, b)
+    assert out == REF.add(P89, a, b)
+    assert all(type(v) is int for v in out)
+    assert all(type(v) is int for v in KERNEL.mul(P89, a, b))
+    assert all(type(v) is int for v in KERNEL.batch_inverse(P89, _values(7, 80, lo=1)))
+
+
+# -- registry behavior (with or without gmpy2) ---------------------------------
+
+
+def test_registry_reports_gmpy2_consistently():
+    assert ("gmpy2" in available_kernel_backends()) == gmpy2_available()
+    if not gmpy2_available():
+        with pytest.raises(ValueError):
+            set_kernel_backend("gmpy2")
+
+
+# -- the real module, when installed -------------------------------------------
+
+
+@pytest.mark.skipif(not gmpy2_available(), reason="gmpy2 not installed")
+def test_real_gmpy2_field_array_ops_match_int_kernel():
+    """FieldArray chains over GF(2^89 - 1) under the real gmpy2 backend."""
+    field = GF(P89)
+    a_vals = _values(11, 120)
+    b_vals = _values(12, 120, lo=1)
+    previous = set_kernel_backend("int")
+    try:
+        a = FieldArray(field, a_vals)
+        b = FieldArray(field, b_vals)
+        reference = [(a * b).values, (a / b).values, int(a.dot(b))]
+        set_kernel_backend("gmpy2")
+        a = FieldArray(field, a_vals)
+        b = FieldArray(field, b_vals)
+        fast = [(a * b).values, (a / b).values, int(a.dot(b))]
+    finally:
+        set_kernel_backend(previous)
+    assert reference == fast
+    assert all(type(v) is int for v in fast[0])
+
+
+@pytest.mark.skipif(not gmpy2_available(), reason="gmpy2 not installed")
+def test_real_gmpy2_never_leaks_foreign_scalars():
+    """Every residue returned by the real backend is a plain Python int."""
+    kernel = Gmpy2Kernel()
+    a = _values(13, 90)
+    for value in kernel.mul(P89, a, a):
+        assert type(value) is int
+    for value in kernel.batch_inverse(P89, _values(14, 90, lo=1)):
+        assert type(value) is int

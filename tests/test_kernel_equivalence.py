@@ -1,16 +1,20 @@
-"""numpy-kernel vs int-kernel equivalence: the exact-twin contract.
+"""Accelerated-kernel vs int-kernel equivalence: the exact-twin contract.
 
 The pluggable numerical kernel backends (:mod:`repro.field.kernels`) must be
-*exact*: for identical inputs, the ``"numpy"`` uint64 limb-split backend and
-the ``"int"`` pure-Python reference return identical residues through every
-FieldArray op and every cached-matrix path, including edge residues (0, 1,
-p-1) and unreduced inputs (values >= p).  On top of the property-based
-checks, one scenario-matrix diagonal cell runs end to end under both
-kernels and must produce bit-identical outputs and transcripts -- switching
-kernels can never change what a protocol says, only how fast it says it.
+*exact*: for identical inputs, the ``"numpy"`` uint64 limb-split backend,
+the ``"gmpy2"`` GMP backend (when installed), and the ``"int"`` pure-Python
+reference return identical residues through every FieldArray op and every
+cached-matrix path, including edge residues (0, 1, p-1) and unreduced
+inputs (values >= p).  On top of the property-based checks, one
+scenario-matrix diagonal cell runs end to end under every installed kernel
+and must produce bit-identical outputs and transcripts -- switching kernels
+can never change what a protocol says, only how fast it says it.
 
 The whole module is skipped when numpy is not importable (the int kernel is
-then the only backend and equivalence is vacuous).
+then the only backend and equivalence is vacuous); the gmpy2 column joins
+:data:`ACCELERATED_KERNELS` automatically when gmpy2 imports, and
+``tests/test_gmpy2_kernel.py`` covers the gmpy2 op layer via an injected
+stand-in module even where gmpy2 is absent.
 """
 
 import random
@@ -33,6 +37,7 @@ from repro.field.bivariate import BatchSymmetricBivariate
 from repro.field.kernels import (
     DISPATCH_THRESHOLDS,
     available_kernel_backends,
+    gmpy2_available,
     kernel_name,
     numpy_available,
     set_kernel_backend,
@@ -61,6 +66,15 @@ SIZES = [1, 3, DISPATCH_THRESHOLDS["elementwise"] - 1,
          DISPATCH_THRESHOLDS["elementwise"] + 13, 400]
 
 
+#: Every installed accelerated backend; the equivalence properties run
+#: against all of them (numpy always under the module skipif; gmpy2 joins
+#: automatically when importable -- its sub-64-bit dispatch at the default
+#: field must be just as invisible as the numpy limb paths).
+ACCELERATED_KERNELS = [
+    name for name in ("numpy", "gmpy2") if name in available_kernel_backends()
+]
+
+
 @contextmanager
 def kernel(name):
     previous = set_kernel_backend(name)
@@ -71,11 +85,16 @@ def kernel(name):
 
 
 def both_kernels(fn):
-    """Run ``fn`` under the int and numpy kernels; results must match."""
+    """Run ``fn`` under the int kernel and every installed accelerated
+    kernel; all results must match the int reference.  Returns
+    ``(reference, fast)`` for the call sites' own follow-up asserts."""
     with kernel("int"):
         reference = fn()
-    with kernel("numpy"):
-        fast = fn()
+    fast = reference
+    for name in ACCELERATED_KERNELS:
+        with kernel(name):
+            fast = fn()
+        assert fast == reference, f"kernel {name!r} diverges from int"
     return reference, fast
 
 
@@ -349,7 +368,9 @@ def test_packed_field_vector_normalization_matches_across_kernels():
 
 
 def test_kernel_registry_roundtrip():
-    assert set(available_kernel_backends()) == {"int", "numpy"}
+    available = set(available_kernel_backends())
+    assert {"int", "numpy"} <= available
+    assert ("gmpy2" in available) == gmpy2_available()
     original = kernel_name()
     previous = set_kernel_backend("int")
     try:
@@ -357,8 +378,14 @@ def test_kernel_registry_roundtrip():
         assert kernel_name() == "int"
         assert set_kernel_backend("numpy") == "int"
         assert kernel_name() == "numpy"
+        if gmpy2_available():
+            assert set_kernel_backend("gmpy2") == "numpy"
+            assert kernel_name() == "gmpy2"
+        else:
+            with pytest.raises(ValueError):
+                set_kernel_backend("gmpy2")
         with pytest.raises(ValueError):
-            set_kernel_backend("gmpy2")
+            set_kernel_backend("cupy")
     finally:
         set_kernel_backend(original)
     assert kernel_name() == original
@@ -382,7 +409,7 @@ def test_field_arrays_survive_kernel_switch():
 
 def test_scenario_diagonal_cell_bit_identical_across_kernels():
     """ΠPreProcessing (n=4, sync, honest): same outputs and transcript under
-    the numpy and int kernels -- the tentpole's end-to-end acceptance."""
+    every installed kernel backend -- the end-to-end exact-twin acceptance."""
     from test_scenario_matrix import (
         Scenario,
         canonical_outputs,
@@ -393,11 +420,35 @@ def test_scenario_diagonal_cell_bit_identical_across_kernels():
     scenario = Scenario(4, 1, 0, "honest", "sync", None)
     with kernel("int"):
         reference = run_preprocessing(scenario, batch=True)
-    with kernel("numpy"):
+    assert len(canonical_outputs(reference)) == scenario.n
+    for name in ACCELERATED_KERNELS:
+        with kernel(name):
+            fast = run_preprocessing(scenario, batch=True)
+        assert canonical_outputs(fast) == canonical_outputs(reference), name
+        assert transcript_fingerprint(fast) == transcript_fingerprint(
+            reference
+        ), name
+
+
+@pytest.mark.skipif(not gmpy2_available(), reason="gmpy2 kernel unavailable")
+def test_scenario_diagonal_cell_bit_identical_under_gmpy2():
+    """The same ΠPreProcessing cell pinned to the gmpy2 backend, so CI on a
+    gmpy2-equipped machine shows the third-kernel cell explicitly (and a
+    machine without gmpy2 shows a clean skip instead of silence)."""
+    from test_scenario_matrix import (
+        Scenario,
+        canonical_outputs,
+        run_preprocessing,
+        transcript_fingerprint,
+    )
+
+    scenario = Scenario(4, 1, 0, "honest", "sync", None)
+    with kernel("int"):
+        reference = run_preprocessing(scenario, batch=True)
+    with kernel("gmpy2"):
         fast = run_preprocessing(scenario, batch=True)
     assert canonical_outputs(fast) == canonical_outputs(reference)
     assert transcript_fingerprint(fast) == transcript_fingerprint(reference)
-    assert len(canonical_outputs(fast)) == scenario.n
 
 
 # -- the HIM offline pipeline across kernels -----------------------------------
@@ -443,7 +494,7 @@ def test_property_mat_vecs_matches_across_kernels(seed, inputs, count):
 
 def test_him_scenario_cell_bit_identical_across_kernels():
     """The HIM offline pipeline (n=4, sync, honest): same outputs and
-    transcript under the numpy and int kernels, like the reference mode."""
+    transcript under every installed kernel, like the reference mode."""
     from test_scenario_matrix import (
         Scenario,
         canonical_outputs,
@@ -454,8 +505,11 @@ def test_him_scenario_cell_bit_identical_across_kernels():
     scenario = Scenario(4, 1, 0, "honest", "sync", None, offline="him")
     with kernel("int"):
         reference = run_preprocessing(scenario, batch=True)
-    with kernel("numpy"):
-        fast = run_preprocessing(scenario, batch=True)
-    assert canonical_outputs(fast) == canonical_outputs(reference)
-    assert transcript_fingerprint(fast) == transcript_fingerprint(reference)
-    assert len(canonical_outputs(fast)) == scenario.n
+    assert len(canonical_outputs(reference)) == scenario.n
+    for name in ACCELERATED_KERNELS:
+        with kernel(name):
+            fast = run_preprocessing(scenario, batch=True)
+        assert canonical_outputs(fast) == canonical_outputs(reference), name
+        assert transcript_fingerprint(fast) == transcript_fingerprint(
+            reference
+        ), name
