@@ -86,6 +86,13 @@ def pytest_configure(config):
         "in a subprocess; covered by the tests/conftest.py wall-clock cap "
         "(override with @pytest.mark.calibrate(timeout=N))",
     )
+    config.addinivalue_line(
+        "markers",
+        "chaos: fault-injection tests (FaultPlan campaigns, partition/"
+        "reconnect exercises, process kill-restart-rejoin); covered by the "
+        "tests/conftest.py wall-clock cap (override with "
+        "@pytest.mark.chaos(timeout=N))",
+    )
 
 
 def pytest_collection_modifyitems(config, items):

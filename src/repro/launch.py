@@ -58,6 +58,12 @@ def main(argv=None) -> int:
                         help="internal: run one party of a pickled JobSpec")
     parser.add_argument("--spec", default=None,
                         help="internal: path to the pickled JobSpec")
+    parser.add_argument("--service", action="store_true",
+                        help="internal: the spec is a ServiceSpec; run a "
+                             "persistent supervised service party")
+    parser.add_argument("--resume", action="store_true",
+                        help="internal: restore the service party from its "
+                             "latest on-disk snapshot before rejoining")
     parser.add_argument("--program", choices=["acast", "multiacast", "mpc-mult"],
                         default=None, help="host mode: the workload to run")
     parser.add_argument("--n", type=int, default=4, help="number of parties")
@@ -82,11 +88,16 @@ def main(argv=None) -> int:
     if args.party is not None:
         if args.spec is None:
             parser.error("--party requires --spec")
-        from repro.runtime.launcher import run_party
-
         with open(args.spec, "rb") as handle:
             spec = pickle.load(handle)
-        run_party(args.party, spec)
+        if args.service:
+            from repro.runtime.supervisor import run_service_party
+
+            run_service_party(args.party, spec, resume=args.resume)
+        else:
+            from repro.runtime.launcher import run_party
+
+            run_party(args.party, spec)
         return 0
 
     if args.program is None:

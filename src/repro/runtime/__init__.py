@@ -27,6 +27,13 @@ from repro.runtime.api import (
     RunResult,
     VirtualClock,
 )
+from repro.runtime.errors import (
+    ChannelBrokenError,
+    PartyProcessDied,
+    SendBufferOverflowError,
+    SendTimeoutError,
+    TransportError,
+)
 from repro.runtime.transport import (
     FaultSchedule,
     InProcessTransport,
@@ -43,6 +50,8 @@ _LAZY_BACKENDS = {
     "TcpBackend": "repro.runtime.launcher",
     "TcpTransport": "repro.runtime.tcp_transport",
     "LatencyShim": "repro.runtime.tcp_transport",
+    "TcpMpcService": "repro.runtime.supervisor",
+    "ServiceSpec": "repro.runtime.supervisor",
 }
 
 #: Names accepted by :func:`make_backend` (and `ProtocolRunner(backend=...)`).
@@ -120,6 +129,13 @@ __all__ = [
     "TcpBackend",
     "TcpTransport",
     "LatencyShim",
+    "TcpMpcService",
+    "ServiceSpec",
+    "TransportError",
+    "SendTimeoutError",
+    "SendBufferOverflowError",
+    "ChannelBrokenError",
+    "PartyProcessDied",
     "BACKEND_NAMES",
     "make_backend",
 ]

@@ -149,6 +149,20 @@ class AsyncioBackend(ExecutionBackend, PartyRuntime):
 
     def dispatch(self, message: Message) -> None:
         delay = account_dispatch(self, message)
+        # A fault plan can stretch delivery (per-link latency schedules,
+        # sender clock skew).  Applying it here -- in simulated time, before
+        # the delay is either heap-scheduled or slept -- makes the same plan
+        # behave identically under the virtual clock, the real clock, and
+        # the TCP transport (whose children run this same dispatch path).
+        faults = getattr(self.transport, "faults", None)
+        if (
+            faults is not None
+            and message.sender != message.recipient
+            and hasattr(faults, "extra_delay")
+        ):
+            delay += faults.extra_delay(
+                message.sender, message.recipient, message.send_time
+            )
         if self._virtual:
             heapq.heappush(
                 self._event_heap,

@@ -42,6 +42,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.field.array import batch_enabled, set_batch_enabled
 from repro.field.gf import GF, default_field
 from repro.runtime.api import ExecutionBackend, RunResult
+from repro.runtime.errors import PartyProcessDied
 from repro.runtime.asyncio_backend import AsyncioBackend
 from repro.runtime.tcp_transport import LatencyShim, TcpTransport
 from repro.runtime.wire import decode_payload, encode_payload, frame, read_frame
@@ -77,6 +78,9 @@ class JobSpec:
     faults: Optional[Any] = None
     latency: Optional[LatencyShim] = None
     batch: Optional[bool] = None
+    #: Extra :class:`TcpTransport` keyword arguments (heartbeat interval,
+    #: send buffer depth, reconnect budget, ...) applied in every child.
+    transport_opts: Dict[str, Any] = _dc_field(default_factory=dict)
 
 
 class TcpPartyBackend(AsyncioBackend):
@@ -157,11 +161,14 @@ def run_party(party_id: int, spec: JobSpec) -> None:
 
 
 async def _party_main(party_id: int, spec: JobSpec) -> None:
+    transport_opts = dict(spec.transport_opts)
+    transport_opts.setdefault("reconnect_seed", spec.seed ^ party_id)
     transport = TcpTransport(
         roster=dict(spec.roster),
         local_parties=[party_id],
         faults=spec.faults,
         latency=spec.latency,
+        **transport_opts,
     )
     backend = TcpPartyBackend(
         spec.n,
@@ -176,11 +183,23 @@ async def _party_main(party_id: int, spec: JobSpec) -> None:
     for crashed, at_time in spec.crash_schedule.items():
         backend.crash_party(crashed, at_time)
 
-    reader, writer = await _dial(*spec.control, timeout=15.0)
+    # Control traffic crosses the same emulated WAN as the data frames:
+    # the dial retries and every control send draw a shim delay (channel
+    # "party -> 0", the launcher's pseudo-id).
+    reader, writer = await _dial(
+        *spec.control, timeout=15.0, latency=spec.latency, channel=(party_id, 0)
+    )
     lock = asyncio.Lock()
+    ctl_seq = 0
 
     async def send(obj: Dict[str, Any]) -> None:
+        nonlocal ctl_seq
         async with lock:
+            if spec.latency is not None:
+                delay = spec.latency.control_delay(party_id, 0, ctl_seq)
+                ctl_seq += 1
+                if delay > 0:
+                    await asyncio.sleep(delay)
             writer.write(frame(encode_payload(obj)))
             await writer.drain()
 
@@ -250,10 +269,22 @@ async def _party_main(party_id: int, spec: JobSpec) -> None:
         raise failure
 
 
-async def _dial(host: str, port: int, timeout: float):
+async def _dial(
+    host: str,
+    port: int,
+    timeout: float,
+    latency: Optional[LatencyShim] = None,
+    channel: Tuple[int, int] = (0, 0),
+):
     loop = asyncio.get_running_loop()
     deadline = loop.time() + timeout
+    dials = 0
     while True:
+        if latency is not None:
+            delay = latency.control_delay(channel[0], channel[1], dials)
+            if delay > 0:
+                await asyncio.sleep(delay)
+        dials += 1
         try:
             return await asyncio.open_connection(host, port)
         except OSError:
@@ -326,6 +357,7 @@ class TcpBackend(ExecutionBackend):
         python: Optional[str] = None,
         startup_timeout: float = 30.0,
         run_timeout: float = 600.0,
+        transport_opts: Optional[Dict[str, Any]] = None,
     ):
         self.n = n
         self.network = network or SynchronousNetwork()
@@ -342,6 +374,7 @@ class TcpBackend(ExecutionBackend):
         self.python = python or sys.executable
         self.startup_timeout = startup_timeout
         self.run_timeout = run_timeout
+        self.transport_opts: Dict[str, Any] = dict(transport_opts or {})
         self.crash_schedule: Dict[int, Optional[float]] = {}
         #: Wall seconds from first spawn to the last hello of the latest run
         #: (interpreter + import cost x n, serialized on few-core hosts);
@@ -437,6 +470,7 @@ class TcpBackend(ExecutionBackend):
             faults=self.faults,
             latency=self.latency,
             batch=batch_enabled(),
+            transport_opts=self.transport_opts,
         )
         fd, spec_path = tempfile.mkstemp(prefix="repro-job-", suffix=".pkl")
         with os.fdopen(fd, "wb") as handle_file:
@@ -461,15 +495,17 @@ class TcpBackend(ExecutionBackend):
                         raise RuntimeError(
                             f"party process {pid} failed: {done_msg['error']}"
                         )
-                dead = [
-                    pid for pid, proc in procs.items()
+                dead = {
+                    pid: procs[pid].returncode
+                    for pid, proc in procs.items()
                     if proc.poll() is not None and pid not in dones
-                ]
-                if dead:
-                    raise RuntimeError(
-                        f"party process(es) {dead} exited before reporting "
-                        f"(exit codes {[procs[p].returncode for p in dead]})"
-                    )
+                }
+                scheduled = sorted(set(dead) & set(self.crash_schedule))
+                # A deliberately-crashed party's process may exit early;
+                # that is the experiment, not a failure.  Any *other* death
+                # is fatal and typed, so harnesses can tell the two apart.
+                if set(dead) - set(scheduled):
+                    raise PartyProcessDied(dead, scheduled=scheduled)
 
             deadline = loop.time() + self.startup_timeout
             while len(hellos) < self.n:

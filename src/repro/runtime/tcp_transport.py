@@ -1,4 +1,4 @@
-"""TcpTransport: the point-to-point channels over real TCP sockets.
+"""TcpTransport: self-healing point-to-point channels over real TCP sockets.
 
 The socket-shaped :class:`~repro.runtime.transport.Transport` interface was
 built so this class could slot in without touching protocol or backend code:
@@ -18,33 +18,82 @@ One transport instance serves the *local* parties of its process:
   and remote deliveries dial out with connect retries (peers come up in any
   order).
 
+Self-healing channel layer
+--------------------------
+
+A dropped connection is no longer frame loss.  Every data frame carries a
+per-channel wire sequence number and stays in a bounded send buffer until
+the receiver acknowledges it; when a connection breaks, the channel redials
+with exponential backoff plus deterministic jitter and replays everything
+unacknowledged.  The receiver deduplicates by sequence number, so replay is
+exactly-once end to end (a *fault-injected* duplicate is two distinct
+sequence numbers and still delivers twice, as the fault contract requires).
+The failure modes are typed (:mod:`repro.runtime.errors`):
+
+* a frame that cannot be flushed within ``send_timeout`` raises
+  :class:`SendTimeoutError` (the channel then tears down and retries);
+* a replay buffer reaching ``send_buffer_frames`` raises
+  :class:`SendBufferOverflowError` -- overflow would mean silent loss;
+* a channel that exhausts ``max_reconnect_attempts`` surfaces
+  :class:`ChannelBrokenError` (fatal via ``quiescent()`` in single-process
+  mode; recorded in :attr:`broken_channels` and logged in multi-process
+  mode, where a vanished peer may be a deliberate crash experiment and the
+  supervisor owns the response).
+
+``heartbeat_interval > 0`` additionally sends idle-channel heartbeats and
+tracks per-peer last-heard times; :meth:`suspected` is the failure detector
+a supervisor polls.
+
 Delivery semantics are the :mod:`repro.runtime.transport` contract: crash
 stops future sends/receives but in-flight traffic lands; a reorder hold is
 released on the next delivery attempt to the same recipient; faults draw
-from the same ``decide`` interface (use :class:`FaultSchedule` for decisions
-that replay identically against :class:`InProcessTransport`).
+from the same ``decide`` interface (use :class:`FaultSchedule` or a
+:class:`~repro.faults.plan.FaultPlan` for decisions that replay identically
+against :class:`InProcessTransport`).
 
 ``latency`` injects per-channel artificial delay before the socket write, so
-localhost runs emulate WAN round-trip times (:class:`LatencyShim`).  The
-transport requires the real clock -- socket deliveries cannot be enqueued
-synchronously, which the virtual-clock inline dispatcher relies on.
+localhost runs emulate WAN round-trip times (:class:`LatencyShim`); dials
+and reconnects draw their own shim delay, so the *recovery* path is WAN-
+emulated too.  The transport requires the real clock -- socket deliveries
+cannot be enqueued synchronously, which the virtual-clock inline dispatcher
+relies on.
 """
 
 from __future__ import annotations
 
 import asyncio
 import hashlib
+import itertools
+import os
+import struct
 import sys
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.runtime.errors import (
+    ChannelBrokenError,
+    SendBufferOverflowError,
+    SendTimeoutError,
+    TransportError,
+)
 from repro.runtime.transport import (
-    DELIVER,
     DROP,
     DUPLICATE,
     HOLD,
     Transport,
+    fault_decision,
 )
 from repro.runtime.wire import decode_message, encode_message, frame, read_frame
+
+_U64 = struct.Struct(">Q")
+_U32 = struct.Struct(">I")
+#: Channel frame kinds: data (seq-numbered message), heartbeat, ack, and the
+#: per-connection incarnation preamble (see ``TcpTransport.incarnation``).
+_KIND_DATA, _KIND_HEARTBEAT, _KIND_ACK, _KIND_INCARNATION = b"D", b"H", b"A", b"I"
+
+#: Distinguishes transport instances within one process; combined with the
+#: OS pid it yields an incarnation id unique across process restarts.
+_incarnation_counter = itertools.count(1)
 
 
 class LatencyShim:
@@ -57,6 +106,11 @@ class LatencyShim:
     override maps specific ``(sender, recipient)`` channels to their own
     base latency (e.g. to emulate geo-distributed clusters with slow
     transatlantic pairs).
+
+    :meth:`control_delay` is the same draw under a different hash salt for
+    the *non-frame* traffic -- connection dials, reconnects, and control-
+    channel sends -- so WAN emulation covers the recovery paths too without
+    correlating with the data-frame jitter sequence.
     """
 
     def __init__(
@@ -73,15 +127,42 @@ class LatencyShim:
         self.seed = seed
         self.pairs = dict(pairs or {})
 
-    def delay(self, sender: int, recipient: int, seq: int) -> float:
+    def _delay(self, salt: str, sender: int, recipient: int, seq: int) -> float:
         base = self.pairs.get((sender, recipient), self.base)
         if not self.jitter:
             return base
         digest = hashlib.sha256(
-            f"lat:{self.seed}:{sender}:{recipient}:{seq}".encode()
+            f"{salt}:{self.seed}:{sender}:{recipient}:{seq}".encode()
         ).digest()
         draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
         return base + self.jitter * draw
+
+    def delay(self, sender: int, recipient: int, seq: int) -> float:
+        return self._delay("lat", sender, recipient, seq)
+
+    def control_delay(self, sender: int, recipient: int, seq: int) -> float:
+        """Shim delay for dials/reconnects/control frames (salt ``ctl``)."""
+        return self._delay("ctl", sender, recipient, seq)
+
+
+class _ChannelState:
+    """Sender-side state of one self-healing outbound channel."""
+
+    __slots__ = (
+        "pending", "next_wseq", "acked", "event", "attempts", "dials",
+        "ever_connected", "connected",
+    )
+
+    def __init__(self):
+        #: wire-seq -> ready-to-write frame bytes, insertion == seq order.
+        self.pending: "OrderedDict[int, bytes]" = OrderedDict()
+        self.next_wseq = 1  # 0 means "nothing acked yet" in ack frames
+        self.acked = 0
+        self.event = asyncio.Event()
+        self.attempts = 0  # consecutive failed dials since last success
+        self.dials = 0  # total dial attempts (latency-shim sequence)
+        self.ever_connected = False
+        self.connected = False
 
 
 class TcpTransport(Transport):
@@ -97,6 +178,15 @@ class TcpTransport(Transport):
         latency: Optional[LatencyShim] = None,
         host: str = "127.0.0.1",
         connect_timeout: float = 15.0,
+        heartbeat_interval: float = 0.0,
+        heartbeat_timeout: Optional[float] = None,
+        send_timeout: Optional[float] = None,
+        send_buffer_frames: int = 8192,
+        max_reconnect_attempts: int = 10,
+        reconnect_base: float = 0.05,
+        reconnect_cap: float = 1.0,
+        reconnect_seed: int = 0,
+        ack_every: int = 16,
     ):
         self.roster: Dict[int, Tuple[str, int]] = dict(roster or {})
         self.local_parties = set(local_parties) if local_parties is not None else None
@@ -104,6 +194,31 @@ class TcpTransport(Transport):
         self.latency = latency
         self.host = host
         self.connect_timeout = connect_timeout
+        #: Idle seconds between heartbeats per channel (0 disables them).
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = (
+            heartbeat_timeout
+            if heartbeat_timeout is not None
+            else (3.0 * heartbeat_interval if heartbeat_interval else None)
+        )
+        #: Per-frame drain timeout (None = wait forever, TCP's own timeouts).
+        self.send_timeout = send_timeout
+        self.send_buffer_frames = send_buffer_frames
+        self.max_reconnect_attempts = max_reconnect_attempts
+        self.reconnect_base = reconnect_base
+        self.reconnect_cap = reconnect_cap
+        self.reconnect_seed = reconnect_seed
+        self.ack_every = max(1, ack_every)
+        #: Identifies this *instance* of the sender across process restarts.
+        #: A supervisor-restarted party numbers its wire seqs from 1 again;
+        #: without the incarnation preamble the receiver's dedupe high-water
+        #: from the dead incarnation would silently swallow every frame the
+        #: reborn process sends (and its stale re-acks would make the new
+        #: sender prune frames it never delivered).
+        self.incarnation = (
+            ((os.getpid() & 0xFFFFFFFF) << 24)
+            | (next(_incarnation_counter) & 0xFFFFFF)
+        )
 
         self._inboxes: Dict[int, asyncio.Queue] = {}
         self._crashed: Set[int] = set()
@@ -112,9 +227,19 @@ class TcpTransport(Transport):
         #: per-channel latency sequence (counts transmitted frames).
         self._lat_seq: Dict[Tuple[int, int], int] = {}
         self._servers: Dict[int, asyncio.base_events.Server] = {}
-        #: (sender, recipient) -> outbound frame queue + its writer task.
-        self._channels: Dict[Tuple[int, int], asyncio.Queue] = {}
+        self._channel_states: Dict[Tuple[int, int], _ChannelState] = {}
         self._writer_tasks: Dict[Tuple[int, int], asyncio.Task] = {}
+        #: highest accepted wire seq per (sender, local recipient) channel.
+        self._recv_wseq: Dict[Tuple[int, int], int] = {}
+        #: sender incarnation the high-water mark belongs to, per channel.
+        self._recv_incarnation: Dict[Tuple[int, int], int] = {}
+        #: loop.time() of the last frame heard per (peer, local) channel.
+        self._last_heard: Dict[Tuple[int, int], float] = {}
+        #: channels that exhausted their reconnect budget (multi-process).
+        self.broken_channels: Dict[Tuple[int, int], TransportError] = {}
+        #: total reconnect dials that followed a successful connection (the
+        #: self-healing activity counter benchmarks and tests read).
+        self.reconnects = 0
         self._local: Set[int] = set()
         self._has_remote = False
         self._inflight = 0
@@ -138,6 +263,12 @@ class TcpTransport(Transport):
         self._held = {}
         self._seq = {}
         self._lat_seq = {}
+        self._channel_states = {}
+        self._recv_wseq = {}
+        self._recv_incarnation = {}
+        self._last_heard = {}
+        self.broken_channels = {}
+        self.reconnects = 0
         self._inflight = 0
         for pid in sorted(self._local):
             host, port = self.roster.get(pid, (self.host, 0))
@@ -166,6 +297,34 @@ class TcpTransport(Transport):
         # traffic; the launcher's stop barrier governs exit instead.
         return not self._has_remote and self._inflight == 0
 
+    def prime_channel(self, sender: int, recipient: int) -> None:
+        """Start the outbound channel's writer without queueing a data frame.
+
+        Channels normally dial lazily on the first :meth:`deliver`; the
+        supervisor's eval-ready barrier primes them instead, so the dial
+        (and any crash-restart backoff still in flight) is spent *before*
+        a round-sensitive protocol starts pushing frames into a channel
+        that is mid-heal.
+        """
+        if self._closed or recipient in self._local or recipient in self._crashed:
+            return
+        key = (sender, recipient)
+        if key not in self._channel_states:
+            state = self._channel_states[key] = _ChannelState()
+            self._writer_tasks[key] = self._loop.create_task(
+                self._channel_writer(key, state)
+            )
+
+    def channels_connected(self, sender: int, recipients: Sequence[int]) -> bool:
+        """True iff the outbound channel to every remote recipient is live."""
+        for recipient in recipients:
+            if recipient in self._local or recipient in self._crashed:
+                continue
+            state = self._channel_states.get((sender, recipient))
+            if state is None or not state.connected:
+                return False
+        return True
+
     def close(self) -> None:
         self._closed = True
         for task in self._writer_tasks.values():
@@ -174,9 +333,27 @@ class TcpTransport(Transport):
             server.close()
         self._servers = {}
         self._writer_tasks = {}
-        self._channels = {}
+        self._channel_states = {}
         self._inboxes = {}
         self._held = {}
+
+    # -- failure detection ---------------------------------------------------
+    def suspected(self, timeout: Optional[float] = None) -> Set[int]:
+        """Peers not heard from within ``timeout`` (heartbeat detector).
+
+        Only peers heard from at least once are judged (a peer that never
+        connected is the dial path's business), and only when heartbeats
+        are enabled or an explicit timeout is given.
+        """
+        timeout = timeout if timeout is not None else self.heartbeat_timeout
+        if timeout is None or self._loop is None:
+            return set()
+        now = self._loop.time()
+        return {
+            peer
+            for (peer, _local), heard in self._last_heard.items()
+            if peer not in self._local and now - heard > timeout
+        }
 
     # -- receive path -------------------------------------------------------
     def _make_handler(self, pid: int):
@@ -186,15 +363,52 @@ class TcpTransport(Transport):
                     body = await read_frame(reader)
                     if self._closed:
                         break
-                    message = decode_message(body)
+                    kind = body[:1]
+                    if kind == _KIND_INCARNATION:
+                        peer = _U32.unpack_from(body, 1)[0]
+                        incarnation = _U64.unpack_from(body, 5)[0]
+                        channel = (peer, pid)
+                        if self._recv_incarnation.get(channel) != incarnation:
+                            # A *different process* now owns the sender side
+                            # of this channel (supervisor crash-restart); it
+                            # numbers wire seqs from 1 again, so the dead
+                            # incarnation's dedupe high-water must go.
+                            self._recv_incarnation[channel] = incarnation
+                            self._recv_wseq[channel] = 0
+                        continue
+                    if kind == _KIND_HEARTBEAT:
+                        peer = _U32.unpack_from(body, 1)[0]
+                        self._last_heard[(peer, pid)] = self._loop.time()
+                        # Ack back the channel high-water mark so idle
+                        # senders prune their replay buffers.
+                        acked = self._recv_wseq.get((peer, pid), 0)
+                        writer.write(frame(_KIND_ACK + _U64.pack(acked)))
+                        continue
+                    if kind != _KIND_DATA:
+                        continue  # unknown kind: ignore (forward compat)
+                    wseq = _U64.unpack_from(body, 1)[0]
+                    message = decode_message(body[9:])
                     if message.recipient != pid:
                         raise ValueError(
                             f"misrouted frame: {message.sender}->"
                             f"{message.recipient} arrived at P{pid}'s listener"
                         )
-                    tracked = not self._has_remote
-                    if tracked:
+                    channel = (message.sender, pid)
+                    self._last_heard[channel] = self._loop.time()
+                    if wseq <= self._recv_wseq.get(channel, 0):
+                        # Replayed frame whose original landed: exactly-once
+                        # dedupe (fault-injected duplicates carry fresh
+                        # seqs and still deliver twice).  Re-ack the high-
+                        # water mark so the replaying sender prunes.
+                        writer.write(frame(
+                            _KIND_ACK + _U64.pack(self._recv_wseq[channel])
+                        ))
+                        continue
+                    self._recv_wseq[channel] = wseq
+                    if not self._has_remote:
                         self._inflight -= 1
+                    if wseq % self.ack_every == 0:
+                        writer.write(frame(_KIND_ACK + _U64.pack(wseq)))
                     if message.recipient in self._crashed:
                         continue
                     handled = asyncio.Event()
@@ -202,7 +416,7 @@ class TcpTransport(Transport):
                     if self.on_delivery is not None:
                         self.on_delivery()
             except (asyncio.IncompleteReadError, ConnectionError):
-                pass  # peer closed (normal teardown) -- drain ends
+                pass  # peer closed (reconnect or teardown) -- drain ends
             except asyncio.CancelledError:
                 pass  # loop teardown cancels in-flight reads
             except Exception as exc:  # noqa: BLE001 - surface via quiescent()
@@ -229,8 +443,8 @@ class TcpTransport(Transport):
         faults = self.faults
         if faults is not None:
             seq = self._next_seq(message.sender, recipient)
-            decision = faults.decide(
-                message.sender, recipient, seq, can_hold=recipient not in self._held
+            decision = fault_decision(
+                faults, message, seq, can_hold=recipient not in self._held
             )
             if decision == HOLD:
                 self._held[recipient] = message
@@ -275,61 +489,226 @@ class TcpTransport(Transport):
         if not self._has_remote:
             self._inflight += 1
         body = encode_message(message)
-        queue = self._channels.get(key)
-        if queue is None:
-            queue = asyncio.Queue()
-            self._channels[key] = queue
-            self._writer_tasks[key] = self._loop.create_task(
-                self._channel_writer(key, queue)
-            )
         if self.latency is not None:
             lat_seq = self._lat_seq.get(key, 0)
             self._lat_seq[key] = lat_seq + 1
             delay = self.latency.delay(message.sender, message.recipient, lat_seq)
             if delay > 0:
-                self._loop.call_later(delay, queue.put_nowait, body)
+                self._loop.call_later(delay, self._commit_frame, key, body)
                 return
-        queue.put_nowait(body)
+        self._commit_frame(key, body)
 
-    async def _channel_writer(self, key: Tuple[int, int], queue: asyncio.Queue) -> None:
-        """One outbound connection per channel: dial with retries, then pump."""
-        sender, recipient = key
-        host, port = self.roster[recipient]
-        deadline = self._loop.time() + self.connect_timeout
-        writer = None
+    def _commit_frame(self, key: Tuple[int, int], body: bytes) -> None:
+        """Sequence-number the frame into the channel's replay buffer."""
+        if self._closed:
+            return
+        state = self._channel_states.get(key)
+        if state is None:
+            state = self._channel_states[key] = _ChannelState()
+            self._writer_tasks[key] = self._loop.create_task(
+                self._channel_writer(key, state)
+            )
+        if (
+            state.ever_connected
+            and not state.connected
+            and len(state.pending) >= self.send_buffer_frames
+        ):
+            # The bound polices accumulation across an *outage* -- exceeding
+            # it there means the eventual reconnect-replay contract would
+            # have to drop an unacknowledged frame, so fail loudly instead.
+            # A live connection's unacked backlog is just socket/receiver
+            # lag (unbounded before the self-healing layer existed, still
+            # unbounded), and pre-first-connect accumulation is launch skew
+            # on few-core hosts where process spawns serialize.
+            error = SendBufferOverflowError(key[0], key[1], self.send_buffer_frames)
+            if self._error is None:
+                self._error = error
+            raise error
+        wseq = state.next_wseq
+        state.next_wseq += 1
+        state.pending[wseq] = frame(_KIND_DATA + _U64.pack(wseq) + body)
+        state.event.set()
+
+    # -- the self-healing channel writer ------------------------------------
+    def _backoff_delay(self, key: Tuple[int, int], attempt: int) -> float:
+        """Exponential backoff with deterministic (seeded-hash) jitter."""
+        base = min(self.reconnect_cap, self.reconnect_base * (2 ** (attempt - 1)))
+        digest = hashlib.sha256(
+            f"rc:{self.reconnect_seed}:{key[0]}:{key[1]}:{attempt}".encode()
+        ).digest()
+        jitter = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return base * (1.0 + 0.5 * jitter)
+
+    async def _drain(self, key: Tuple[int, int], writer: asyncio.StreamWriter) -> None:
+        if self.send_timeout is None:
+            await writer.drain()
+            return
+        try:
+            await asyncio.wait_for(writer.drain(), self.send_timeout)
+        except asyncio.TimeoutError:
+            raise SendTimeoutError(key[0], key[1], self.send_timeout) from None
+
+    async def _ack_pump(
+        self,
+        key: Tuple[int, int],
+        reader: asyncio.StreamReader,
+        state: _ChannelState,
+    ) -> None:
+        """Prune the replay buffer as the peer acknowledges frames."""
         try:
             while True:
-                try:
-                    _reader, writer = await asyncio.open_connection(host, port)
-                    break
-                except OSError:
-                    if self._closed:
-                        return
-                    if self._loop.time() > deadline:
-                        raise
-                    await asyncio.sleep(0.02)
-            while True:
-                body = await queue.get()
-                writer.write(frame(body))
-                await writer.drain()
+                body = await read_frame(reader)
+                if body[:1] != _KIND_ACK:
+                    continue
+                acked = _U64.unpack_from(body, 1)[0]
+                if acked > state.acked:
+                    state.acked = acked
+                    while state.pending and next(iter(state.pending)) <= acked:
+                        state.pending.popitem(last=False)
+                state.attempts = 0  # the peer is alive and making progress
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass
         except asyncio.CancelledError:
             pass
-        except ConnectionError:
-            # The peer's process went away mid-run (crash experiments, or a
-            # peer that exited after the stop barrier): frames to it are
-            # lost exactly like packets to a dead host.
-            if not self._has_remote:
-                self._error = ConnectionError(
-                    f"local channel P{sender}->P{recipient} broke mid-run"
+
+    def _channel_broken(
+        self, key: Tuple[int, int], state: _ChannelState, cause: BaseException
+    ) -> None:
+        sender, recipient = key
+        if isinstance(cause, TransportError):
+            error: TransportError = cause
+        else:
+            error = ChannelBrokenError(sender, recipient, state.attempts, cause)
+        self.broken_channels[key] = error
+        if self._has_remote:
+            # The peer's process went away for good (crash experiments, or a
+            # peer that exited after the stop barrier).  The supervisor owns
+            # the response; unacknowledged frames to it are lost exactly
+            # like packets to a dead host.
+            print(f"[tcp-transport] {error}", file=sys.stderr)
+        elif self._error is None:
+            self._error = error
+
+    async def _channel_writer(self, key: Tuple[int, int], state: _ChannelState) -> None:
+        """One outbound channel: dial, replay unacked frames, pump, heal."""
+        sender, recipient = key
+        first_deadline = self._loop.time() + self.connect_timeout
+        connected_before = False
+        writer: Optional[asyncio.StreamWriter] = None
+        ack_task: Optional[asyncio.Task] = None
+        try:
+            while not self._closed:
+                host, port = self.roster[recipient]
+                if self.latency is not None:
+                    # Route dials (first connect *and* reconnects) through
+                    # the WAN shim: connection setup crosses the same
+                    # emulated network the frames do.
+                    dial_delay = self.latency.control_delay(
+                        sender, recipient, state.dials
+                    )
+                    if dial_delay > 0:
+                        await asyncio.sleep(dial_delay)
+                state.dials += 1
+                try:
+                    reader, writer = await asyncio.open_connection(host, port)
+                except OSError as exc:
+                    if self._closed:
+                        return
+                    if not connected_before:
+                        # Startup: peers come up in any order; retry fast
+                        # within the connect budget.
+                        if self._loop.time() > first_deadline:
+                            self._channel_broken(key, state, exc)
+                            return
+                        await asyncio.sleep(0.02)
+                        continue
+                    state.attempts += 1
+                    if state.attempts > self.max_reconnect_attempts:
+                        self._channel_broken(key, state, exc)
+                        return
+                    await asyncio.sleep(self._backoff_delay(key, state.attempts))
+                    continue
+                if connected_before:
+                    self.reconnects += 1
+                connected_before = True
+                state.ever_connected = True
+                state.connected = True
+                state.attempts = 0
+                ack_task = self._loop.create_task(
+                    self._ack_pump(key, reader, state)
                 )
+                try:
+                    # Preamble: announce which incarnation of the sender is
+                    # on the wire, so a receiver that outlived our previous
+                    # process resets its dedupe state (same-incarnation
+                    # reconnects keep it, which is what makes replay
+                    # exactly-once).
+                    writer.write(frame(
+                        _KIND_INCARNATION + _U32.pack(sender)
+                        + _U64.pack(self.incarnation)
+                    ))
+                    # Replay everything unacknowledged, then pump new frames.
+                    cursor = next(iter(state.pending), state.next_wseq)
+                    while True:
+                        wrote = False
+                        for wseq, payload in list(state.pending.items()):
+                            if wseq >= cursor:
+                                if writer.transport.is_closing():
+                                    # The peer dropped us mid-replay; stop
+                                    # queueing into a dead socket (asyncio
+                                    # warns per write) and redial.
+                                    raise ConnectionResetError(
+                                        "peer closed during replay"
+                                    )
+                                writer.write(payload)
+                                cursor = wseq + 1
+                                wrote = True
+                        if wrote:
+                            await self._drain(key, writer)
+                        state.event.clear()
+                        if state.pending and next(reversed(state.pending)) >= cursor:
+                            continue  # a frame raced the clear
+                        if self.heartbeat_interval > 0:
+                            try:
+                                await asyncio.wait_for(
+                                    state.event.wait(), self.heartbeat_interval
+                                )
+                            except asyncio.TimeoutError:
+                                writer.write(frame(
+                                    _KIND_HEARTBEAT + _U32.pack(sender)
+                                ))
+                                await self._drain(key, writer)
+                        else:
+                            await state.event.wait()
+                except (ConnectionError, OSError, SendTimeoutError) as exc:
+                    if self._closed:
+                        return
+                    state.attempts += 1
+                    if state.attempts > self.max_reconnect_attempts:
+                        self._channel_broken(key, state, exc)
+                        return
+                    await asyncio.sleep(self._backoff_delay(key, state.attempts))
+                    continue  # redial and replay
+                finally:
+                    state.connected = False
+                    if ack_task is not None:
+                        ack_task.cancel()
+                        ack_task = None
+                    if writer is not None:
+                        writer.close()
+                        writer = None
+        except asyncio.CancelledError:
+            pass
         except Exception as exc:  # noqa: BLE001 - surface via quiescent()
             if self._has_remote:
                 print(
                     f"[tcp-transport] channel P{sender}->P{recipient} failed: {exc!r}",
                     file=sys.stderr,
                 )
-            else:
+            elif self._error is None:
                 self._error = exc
         finally:
+            if ack_task is not None:
+                ack_task.cancel()
             if writer is not None:
                 writer.close()

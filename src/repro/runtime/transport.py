@@ -52,6 +52,26 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 DELIVER, DUPLICATE, HOLD, DROP = "deliver", "duplicate", "hold", "drop"
 
 
+def fault_decision(faults, message, seq: int, can_hold: bool) -> str:
+    """Draw one fault decision, passing message context when wanted.
+
+    Time-windowed fault models (:class:`~repro.faults.plan.FaultPlan`) set
+    ``wants_send_time`` and receive the message's send time alongside the
+    channel/seq key; the classic models keep their original signature.  Both
+    transports route every decision through here so the interface cannot
+    drift between them.
+    """
+    if getattr(faults, "wants_send_time", False):
+        return faults.decide(
+            message.sender,
+            message.recipient,
+            seq,
+            can_hold=can_hold,
+            send_time=message.send_time,
+        )
+    return faults.decide(message.sender, message.recipient, seq, can_hold=can_hold)
+
+
 class TransportFaults:
     """Seeded-rng fault model applied at every non-self handoff.
 
@@ -319,8 +339,8 @@ class InProcessTransport(Transport):
         faults = self.faults
         if faults is not None and message.sender != recipient:
             seq = self._next_seq(message.sender, recipient)
-            decision = faults.decide(
-                message.sender, recipient, seq, can_hold=recipient not in self._held
+            decision = fault_decision(
+                faults, message, seq, can_hold=recipient not in self._held
             )
             if decision == HOLD:
                 # Park it; it jumps the queue behind the next delivery

@@ -170,6 +170,25 @@ class CheckpointStore:
         self.directory = directory
         self._blobs: Dict[int, bytes] = {}
         self._next_version = 1
+        # A restarted process starts with empty in-memory state but must see
+        # the snapshots its predecessor persisted: discover them up front so
+        # load()/latest_version/save() continue where the old process died.
+        for version in self._disk_versions():
+            self._next_version = max(self._next_version, version + 1)
+
+    def _disk_versions(self) -> List[int]:
+        if self.directory is None:
+            return []
+        import glob
+        import os
+        import re
+
+        versions = []
+        for path in glob.glob(os.path.join(self.directory, "snapshot-*.bin")):
+            match = re.fullmatch(r"snapshot-(\d+)\.bin", os.path.basename(path))
+            if match:
+                versions.append(int(match.group(1)))
+        return sorted(versions)
 
     def save(self, snapshot: ServiceSnapshot) -> int:
         version = self._next_version
@@ -186,26 +205,30 @@ class CheckpointStore:
 
     def load(self, version: Optional[int] = None) -> ServiceSnapshot:
         if version is None:
-            if not self._blobs:
+            version = self.latest_version
+            if version is None:
                 raise KeyError("no snapshots saved")
-            version = max(self._blobs)
         blob = self._blobs.get(version)
         if blob is None and self.directory is not None:
             import os
 
             path = os.path.join(self.directory, f"snapshot-{version}.bin")
-            with open(path, "rb") as fh:
-                blob = fh.read()
+            try:
+                with open(path, "rb") as fh:
+                    blob = fh.read()
+            except FileNotFoundError:
+                blob = None
         if blob is None:
             raise KeyError(f"no snapshot version {version}")
         return ServiceSnapshot.decode(blob)
 
     @property
     def latest_version(self) -> Optional[int]:
-        return max(self._blobs) if self._blobs else None
+        versions = set(self._blobs) | set(self._disk_versions())
+        return max(versions) if versions else None
 
     def versions(self) -> List[int]:
-        return sorted(self._blobs)
+        return sorted(set(self._blobs) | set(self._disk_versions()))
 
     def blob_bytes(self, version: int) -> int:
         return len(self._blobs[version])

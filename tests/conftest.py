@@ -36,7 +36,7 @@ def small_field() -> GF:
 
 @pytest.fixture(autouse=True)
 def _tcp_test_timeout(request):
-    """Hard per-test wall-clock cap for ``tcp``/``service``/``calibrate`` tests.
+    """Hard wall-clock cap for ``tcp``/``service``/``calibrate``/``chaos`` tests.
 
     Socket tests must never hang the tier-1 run (a lost stop frame or a
     wedged child process would otherwise block pytest forever, since there
@@ -51,11 +51,12 @@ def _tcp_test_timeout(request):
         request.node.get_closest_marker("tcp")
         or request.node.get_closest_marker("service")
         or request.node.get_closest_marker("calibrate")
+        or request.node.get_closest_marker("chaos")
     )
     if marker is None or not hasattr(signal, "SIGALRM"):
         yield
         return
-    defaults = {"tcp": 120, "service": 300, "calibrate": 300}
+    defaults = {"tcp": 120, "service": 300, "calibrate": 300, "chaos": 600}
     default_seconds = defaults[marker.name]
     seconds = int(marker.kwargs.get("timeout", default_seconds))
 
